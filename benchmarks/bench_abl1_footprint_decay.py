@@ -1,0 +1,11 @@
+"""Ablation: footprint freshness window for stigmergic mapping teams.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: short windows disperse teams; permanent marks wall off the frontier.
+"""
+
+
+
+def test_abl1(benchmark, run_experiment):
+    report = run_experiment(benchmark, "abl1")
+    assert report.rows

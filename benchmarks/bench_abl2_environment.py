@@ -1,0 +1,11 @@
+"""Ablation: Minar's symmetric radios vs the paper's directed environment.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: Minar's orderings hold in both environments.
+"""
+
+
+
+def test_abl2(benchmark, run_experiment):
+    report = run_experiment(benchmark, "abl2")
+    assert report.rows

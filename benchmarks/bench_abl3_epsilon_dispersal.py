@@ -1,0 +1,10 @@
+"""Ablation: Minar's epsilon-randomness vs stigmergy for crowded super agents.
+
+Regenerates the experiment at QUICK scale and reports wall time.
+Expected shape: epsilon closes the super-vs-conscientious gap; stigmergy matches or beats it.
+"""
+
+
+def test_abl3(benchmark, run_experiment):
+    report = run_experiment(benchmark, "abl3")
+    assert report.rows

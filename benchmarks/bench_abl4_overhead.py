@@ -1,0 +1,10 @@
+"""Ablation: per-decision overhead accounting, plain vs stigmergic.
+
+Regenerates the experiment at QUICK scale and reports wall time.
+Expected shape: stigmergy adds ~2 O(1) board operations per decision.
+"""
+
+
+def test_abl4(benchmark, run_experiment):
+    report = run_experiment(benchmark, "abl4")
+    assert report.rows

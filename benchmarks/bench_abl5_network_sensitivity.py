@@ -1,0 +1,13 @@
+"""Ablation: headline orderings across independently generated networks.
+
+Regenerates the experiment at QUICK scale and reports wall time.
+Expected shape (paper scale): stigmergic super wins on most generated
+networks.  At this benchmark's tiny QUICK scale the conscientious
+stigmergy gain is known not to manifest (it needs ~80+ node networks);
+the bench only checks the experiment runs.
+"""
+
+
+def test_abl5(benchmark, run_experiment):
+    report = run_experiment(benchmark, "abl5")
+    assert report.rows

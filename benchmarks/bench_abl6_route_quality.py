@@ -1,0 +1,11 @@
+"""Ablation: route quality (stretch / coverage / gateway balance).
+
+Regenerates the experiment at QUICK scale and reports wall time.
+Expected shape: oldest-node variants cover more tables than ants, whose
+routes cluster near (and balance worse across) the gateways.
+"""
+
+
+def test_abl6(benchmark, run_experiment):
+    report = run_experiment(benchmark, "abl6")
+    assert report.rows

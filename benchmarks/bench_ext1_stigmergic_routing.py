@@ -1,0 +1,11 @@
+"""Extension: stigmergic footprints in dynamic routing (paper future work).
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: stigmergy should not hurt, and typically helps, routing connectivity.
+"""
+
+
+
+def test_ext1(benchmark, run_experiment):
+    report = run_experiment(benchmark, "ext1")
+    assert report.rows

@@ -1,0 +1,10 @@
+"""Extension: attractive ant pheromone vs repulsive footprints.
+
+Regenerates the experiment at QUICK scale and reports wall time.
+Expected shape: dispersal (footprints) beats attraction (pheromone) on network-wide connectivity.
+"""
+
+
+def test_ext2(benchmark, run_experiment):
+    report = run_experiment(benchmark, "ext2")
+    assert report.rows

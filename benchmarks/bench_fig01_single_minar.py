@@ -1,0 +1,11 @@
+"""Figure 1: single Minar agent, random vs conscientious.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: conscientious finishes several times faster than random.
+"""
+
+
+
+def test_fig1(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig1")
+    assert report.rows

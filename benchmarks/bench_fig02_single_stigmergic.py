@@ -1,0 +1,11 @@
+"""Figure 2: single stigmergic agent, random vs conscientious.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: stigmergic random beats plain random; see EXPERIMENTS.md for the conscientious caveat.
+"""
+
+
+
+def test_fig2(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig2")
+    assert report.rows

@@ -1,0 +1,11 @@
+"""Figure 3: knowledge over time for a team of Minar conscientious agents.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: the team finishes an order of magnitude faster than a single agent.
+"""
+
+
+
+def test_fig3(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig3")
+    assert report.rows

@@ -1,0 +1,11 @@
+"""Figure 4: knowledge over time for a team of stigmergic conscientious agents.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: roughly 10% faster than the fig3 team.
+"""
+
+
+
+def test_fig4(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig4")
+    assert report.rows

@@ -1,0 +1,11 @@
+"""Figure 5: conscientious vs super-conscientious across populations (Minar).
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: super's relative performance degrades as the population grows.
+"""
+
+
+
+def test_fig5(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig5")
+    assert report.rows

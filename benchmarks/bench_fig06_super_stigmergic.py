@@ -1,0 +1,11 @@
+"""Figure 6: conscientious vs super-conscientious across populations (stigmergic).
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: stigmergic super-conscientious wins or ties at every population.
+"""
+
+
+
+def test_fig6(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig6")
+    assert report.rows

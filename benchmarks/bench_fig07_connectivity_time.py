@@ -1,0 +1,11 @@
+"""Figure 7: connectivity over time for an oldest-node team.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: connectivity rises from ~0 and fluctuates around a steady mean.
+"""
+
+
+
+def test_fig7(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig7")
+    assert report.rows

@@ -1,0 +1,11 @@
+"""Figure 8: connectivity vs agent population.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: more agents give higher, steadier connectivity; oldest-node beats random.
+"""
+
+
+
+def test_fig8(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig8")
+    assert report.rows

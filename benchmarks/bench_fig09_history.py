@@ -1,0 +1,11 @@
+"""Figure 9: connectivity vs history size.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: larger histories give higher connectivity.
+"""
+
+
+
+def test_fig9(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig9")
+    assert report.rows

@@ -1,0 +1,11 @@
+"""Figure 10: visiting (best-route exchange) for random agents.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: visiting helps random agents.
+"""
+
+
+
+def test_fig10(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig10")
+    assert report.rows

@@ -1,0 +1,11 @@
+"""Figure 11: visiting for oldest-node agents.
+
+Regenerates the figure at QUICK scale and reports wall time.
+Expected shape: visiting hurts oldest-node agents (identical histories cause chasing).
+"""
+
+
+
+def test_fig11(benchmark, run_experiment):
+    report = run_experiment(benchmark, "fig11")
+    assert report.rows

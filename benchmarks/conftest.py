@@ -1,0 +1,53 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper figure at a reduced scale (QUICK)
+so the whole suite finishes in a couple of minutes; the printed report
+shows the same rows/series the paper's figure plots.  Paper-scale
+numbers come from ``python -m repro run <id> --paper-scale`` and are
+recorded in EXPERIMENTS.md.
+
+Every experiment benchmark runs exactly once (``pedantic`` with one
+round): these are macro-benchmarks of whole simulation campaigns, where
+statistical repetition comes from the 40-seed averaging inside the
+experiment, not from re-running the wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK, get_experiment
+from repro.experiments.runner import clear_topology_cache
+
+#: Master seed for every benchmark run (distinct from the test suite's).
+BENCH_SEED = 1199
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_topology_cache():
+    """Pre-generate the shared QUICK mapping networks once.
+
+    Mapping benchmarks share per-run networks through the runner cache;
+    warming it keeps generation cost out of the first benchmark's time.
+    """
+    clear_topology_cache()
+    get_experiment("fig1").run(QUICK, master_seed=BENCH_SEED)
+    yield
+
+
+@pytest.fixture
+def run_experiment():
+    """Run one registered experiment at QUICK scale and print its report."""
+
+    def runner(benchmark, experiment_id):
+        experiment = get_experiment(experiment_id)
+        report = benchmark.pedantic(
+            lambda: experiment.run(QUICK, master_seed=BENCH_SEED),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(report.render(plots=False))
+        return report
+
+    return runner

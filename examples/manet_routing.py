@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Dynamic routing in a MANET kept alive by mobile agents.
+
+Builds the paper's §III scenario at reduced scale: a mobile ad hoc
+network with stationary gateways, half the nodes moving with random
+velocities and shrinking battery-powered radios.  Oldest-node agents
+wander the network writing gateway routes into node routing tables; the
+script prints the connectivity curve and the converged mean, comparing
+oldest-node against random agents.
+
+Run::
+
+    python examples/manet_routing.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RoutingWorld, RoutingWorldConfig, generate_manet_network
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.series import TimeSeries
+from repro.net.generator import GeneratorConfig
+
+
+def main(seed: int = 1) -> None:
+    network_config = GeneratorConfig(
+        node_count=120,
+        target_edges=None,
+        range_heterogeneity=0.25,
+        require_strong_connectivity=False,
+        gateway_count=6,
+        mobile_fraction=0.5,
+    )
+
+    curves = {}
+    for kind in ("oldest-node", "random"):
+        # Regenerating from the same seed reproduces the identical
+        # placement and movement paths, so the comparison is paired.
+        topology = generate_manet_network(seed, network_config)
+        config = RoutingWorldConfig(
+            agent_kind=kind,
+            population=40,
+            history_size=10,
+            total_steps=200,
+            converged_after=100,
+        )
+        result = RoutingWorld(topology, config, seed).run()
+        curves[kind] = TimeSeries(result.times, result.connectivity)
+        print(
+            f"{kind:12s}: mean connectivity {result.mean_connectivity:.3f} "
+            f"(fluctuation ±{result.connectivity_stability:.3f}) "
+            f"over steps {config.converged_after}..{config.total_steps}"
+        )
+
+    print()
+    print(ascii_plot(curves, title="connectivity over time", y_label="connected fraction"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

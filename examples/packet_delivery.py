@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""End-to-end packet delivery over agent-built routing tables.
+
+The routing tables the agents maintain exist so data packets can reach
+a gateway.  This example runs the routing world for a while, then
+periodically injects batches of packets at random nodes and forwards
+them hop-by-hop along the installed next hops over the *current*
+topology, reporting delivery rate and mean path length — and showing
+that the connectivity metric tracks real deliverability.
+
+Run::
+
+    python examples/packet_delivery.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PacketSimulator, RoutingWorld, RoutingWorldConfig, generate_manet_network
+from repro.net.generator import GeneratorConfig
+from repro.rng import SeedSpawner
+
+
+def main(seed: int = 1) -> None:
+    network_config = GeneratorConfig(
+        node_count=120,
+        target_edges=None,
+        range_heterogeneity=0.25,
+        require_strong_connectivity=False,
+        gateway_count=6,
+        mobile_fraction=0.5,
+    )
+    topology = generate_manet_network(seed, network_config)
+    config = RoutingWorldConfig(
+        agent_kind="oldest-node",
+        population=40,
+        history_size=12,
+        total_steps=200,
+        converged_after=100,
+    )
+    world = RoutingWorld(topology, config, seed)
+    traffic_rng = SeedSpawner(seed).stream("traffic")
+
+    print(f"{'step':>5s}  {'connectivity':>12s}  {'delivered':>9s}  {'mean hops':>9s}")
+    for checkpoint in range(10):
+        for __ in range(config.total_steps // 10):
+            world.engine.step()
+        simulator = PacketSimulator(world.topology, world.tables)
+        stats = simulator.send_batch(200, traffic_rng)
+        connectivity = world.result.connectivity[-1]
+        print(
+            f"{world.engine.clock.now:>5d}  {connectivity:>12.3f}  "
+            f"{stats.delivery_rate:>9.3f}  {stats.mean_hops:>9.2f}"
+        )
+
+    print()
+    print(
+        "delivery rate should track the connectivity fraction: both count "
+        "nodes whose installed next hops still line up with live links."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Re-render archived experiment reports without re-running anything.
+
+Usage::
+
+    python scripts/render_results.py results/json            # all reports
+    python scripts/render_results.py results/json/fig6.json  # one report
+    python scripts/render_results.py results/json --no-plot  # tables only
+
+Reports are the JSON files written by ``repro run … --json-dir`` (or
+:func:`repro.experiments.persistence.save_report`).
+"""
+
+import pathlib
+import sys
+
+from repro.experiments.persistence import load_report
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    plots = "--no-plot" not in sys.argv
+    if not args:
+        print(__doc__)
+        return 2
+    target = pathlib.Path(args[0])
+    paths = sorted(target.glob("*.json")) if target.is_dir() else [target]
+    if not paths:
+        print(f"no reports found under {target}", file=sys.stderr)
+        return 1
+    for path in paths:
+        report = load_report(path)
+        print(report.render(plots=plots))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Paper-scale run of the remaining experiments at a reduced run count.
+
+The full 40-run evaluation of every figure takes hours on one core; the
+routing sweeps dominate.  This script runs the named experiments with
+16 seeded repetitions instead of 40 — the visiting/stigmergy effect
+sizes measured during calibration (|Δ| ≈ 0.03–0.10 connectivity against
+a per-run std of ~0.05) resolve comfortably at n=16 — and archives the
+reports exactly like the CLI would.  EXPERIMENTS.md labels these
+entries with their run count.
+
+Usage: python scripts/run_remaining_paper_scale.py [ids...]
+"""
+
+import sys
+import time
+from dataclasses import replace
+
+from repro.experiments import PAPER, get_experiment
+from repro.experiments.persistence import save_report, save_svg
+
+DEFAULT_IDS = [
+    "fig10",
+    "fig11",
+    "ext1",
+    "ext2",
+    "abl1",
+    "abl2",
+    "abl3",
+    "abl4",
+    "abl5",
+    "abl6",
+]
+
+
+def main() -> int:
+    ids = sys.argv[1:] or DEFAULT_IDS
+    scale = replace(PAPER, runs=16, name="paper-16")
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        started = time.perf_counter()
+        report = experiment.run(scale)
+        elapsed = time.perf_counter() - started
+        print(report.render(plots=False))
+        print(f"(scale={scale.name}, runs={scale.runs}, wall time {elapsed:.1f}s)")
+        print(f"wrote {save_report(report, 'results/json')}")
+        svg = save_svg(report, "results/svg")
+        if svg is not None:
+            print(f"wrote {svg}")
+        print(flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Lets ``pip install -e . --no-use-pep517`` work in offline environments
+whose setuptools lacks the ``wheel`` package needed for PEP 660 editable
+installs.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Reproduction of *Mobile Software Agents for Wireless Network Mapping
+and Dynamic Routing* (Khazaei, Mišić & Mišić).
+
+The library simulates mobile software agents that hop between the nodes
+of a wireless ad hoc network to (a) cooperatively map its topology and
+(b) keep per-node routing tables pointing at gateways as the network
+moves.  The paper's contribution — repulsive *stigmergic footprints* that
+stop agents from chasing one another — is available on every agent type.
+
+Quickstart::
+
+    from repro import (
+        MappingWorld, MappingWorldConfig, generate_mapping_network,
+    )
+
+    topology = generate_mapping_network(seed=1)
+    config = MappingWorldConfig(agent_kind="conscientious", population=15,
+                                stigmergic=True)
+    result = MappingWorld(topology, config, seed=1).run()
+    print(result.finishing_time)
+
+See :mod:`repro.experiments` for the per-figure reproduction harness and
+the ``repro`` CLI for running it.
+"""
+
+from repro.core.mapping_agents import (
+    ConscientiousAgent,
+    MappingAgent,
+    RandomAgent,
+    SuperConscientiousAgent,
+)
+from repro.core.routing_agents import OldestNodeAgent, RandomRoutingAgent, RoutingAgent
+from repro.core.stigmergy import FootprintBoard, StigmergyField
+from repro.errors import ReproError
+from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig, run_mapping
+from repro.net.generator import (
+    GeneratorConfig,
+    generate_manet_network,
+    generate_mapping_network,
+)
+from repro.net.topology import Topology
+from repro.routing.connectivity import connectivity_fraction
+from repro.routing.packets import PacketSimulator
+from repro.routing.table import RouteEntry, RoutingTable, TableBank
+from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig, run_routing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # network substrate
+    "Topology",
+    "GeneratorConfig",
+    "generate_mapping_network",
+    "generate_manet_network",
+    # agents
+    "MappingAgent",
+    "RandomAgent",
+    "ConscientiousAgent",
+    "SuperConscientiousAgent",
+    "RoutingAgent",
+    "RandomRoutingAgent",
+    "OldestNodeAgent",
+    "StigmergyField",
+    "FootprintBoard",
+    # mapping scenario
+    "MappingWorld",
+    "MappingWorldConfig",
+    "MappingResult",
+    "run_mapping",
+    # routing scenario
+    "RoutingWorld",
+    "RoutingWorldConfig",
+    "RoutingResult",
+    "run_routing",
+    "RoutingTable",
+    "RouteEntry",
+    "TableBank",
+    "connectivity_fraction",
+    "PacketSimulator",
+]

@@ -1,0 +1,28 @@
+"""Statistics and presentation helpers for multi-run experiments."""
+
+from repro.analysis.ascii_plot import ascii_plot, ascii_series_table
+from repro.analysis.compare import WelchResult, compare_samples, welch_t_test
+from repro.analysis.series import (
+    TimeSeries,
+    average_series,
+    converged_mean,
+    convergence_time,
+)
+from repro.analysis.stats import RunSummary, confidence_interval, summarize
+from repro.analysis.svg_plot import svg_plot
+
+__all__ = [
+    "RunSummary",
+    "summarize",
+    "confidence_interval",
+    "TimeSeries",
+    "average_series",
+    "converged_mean",
+    "convergence_time",
+    "ascii_plot",
+    "ascii_series_table",
+    "svg_plot",
+    "WelchResult",
+    "welch_t_test",
+    "compare_samples",
+]

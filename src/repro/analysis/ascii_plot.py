@@ -1,0 +1,116 @@
+"""Terminal rendering of the paper's figures.
+
+The original simulator had a Swing GUI; this reproduction renders every
+figure as an ASCII chart plus a numeric series table, so results are
+inspectable over ssh, in CI logs, and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.series import TimeSeries
+from repro.errors import ExperimentError
+
+__all__ = ["ascii_plot", "ascii_series_table"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series_map: Dict[str, TimeSeries],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "time",
+) -> str:
+    """Render one or more series as a shared-axes ASCII chart."""
+    if not series_map:
+        raise ExperimentError("nothing to plot")
+    all_times = [t for s in series_map.values() for t in s.times]
+    all_values = [v for s in series_map.values() for v in s.values]
+    if not all_times:
+        raise ExperimentError("cannot plot empty series")
+    t_min, t_max = min(all_times), max(all_times)
+    v_min, v_max = min(all_values), max(all_values)
+    if v_max == v_min:
+        v_max = v_min + 1.0
+    if t_max == t_min:
+        t_max = t_min + 1
+
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+    for glyph, (__, series) in zip(_cycle(_GLYPHS), sorted(series_map.items())):
+        for time, value in zip(series.times, series.values):
+            col = int((time - t_min) / (t_max - t_min) * (width - 1))
+            row = int((value - v_min) / (v_max - v_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{v_max:8.3f} |"
+        elif index == height - 1:
+            label = f"{v_min:8.3f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{t_min:<10d}{x_label:^{max(0, width - 20)}}{t_max:>10d}")
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for glyph, (name, __) in zip(_cycle(_GLYPHS), sorted(series_map.items()))
+    )
+    lines.append("legend: " + legend)
+    if y_label:
+        lines.append(f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def ascii_series_table(
+    series_map: Dict[str, TimeSeries],
+    sample_times: Optional[Sequence[int]] = None,
+    digits: int = 3,
+) -> str:
+    """A compact numeric table sampling each series at shared times."""
+    if not series_map:
+        raise ExperimentError("nothing to tabulate")
+    names = sorted(series_map)
+    if sample_times is None:
+        longest = max(series_map.values(), key=len)
+        count = min(12, len(longest))
+        step = max(1, len(longest) // count)
+        sample_times = longest.times[::step]
+    header = ["time"] + names
+    rows: List[List[str]] = [list(header)]
+    for time in sample_times:
+        row = [str(time)]
+        for name in names:
+            series = series_map[name]
+            value = _value_at_or_before(series, time)
+            row.append("-" if value is None else f"{value:.{digits}f}")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths)) for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _value_at_or_before(series: TimeSeries, time: int) -> Optional[float]:
+    best = None
+    for t, v in zip(series.times, series.values):
+        if t <= time:
+            best = v
+        else:
+            break
+    return best
+
+
+def _cycle(glyphs: str):
+    while True:
+        for glyph in glyphs:
+            yield glyph

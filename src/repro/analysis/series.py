@@ -1,0 +1,103 @@
+"""Time-series utilities for the knowledge and connectivity curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.types import Time
+
+__all__ = ["TimeSeries", "average_series", "converged_mean"]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """An aligned (times, values) pair."""
+
+    times: List[Time]
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ExperimentError(
+                f"times ({len(self.times)}) and values ({len(self.values)}) differ"
+            )
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time: Time) -> float:
+        """Value at exactly ``time`` (raises if absent)."""
+        try:
+            return self.values[self.times.index(time)]
+        except ValueError:
+            raise ExperimentError(f"no sample at time {time}") from None
+
+    def window(self, start: Time, end: Time) -> "TimeSeries":
+        """The sub-series with ``start <= time <= end``."""
+        pairs = [(t, v) for t, v in zip(self.times, self.values) if start <= t <= end]
+        return TimeSeries([t for t, __ in pairs], [v for __, v in pairs])
+
+    def tail_mean(self, start: Time) -> float:
+        """Mean of values at ``time >= start``."""
+        window = [v for t, v in zip(self.times, self.values) if t >= start]
+        if not window:
+            raise ExperimentError(f"no samples at or after time {start}")
+        return sum(window) / len(window)
+
+
+def average_series(series_list: Sequence[TimeSeries]) -> TimeSeries:
+    """Pointwise mean of several runs' series.
+
+    Runs may stop at different times (mapping runs stop when finished);
+    shorter runs are carried forward at their final value, matching how
+    the paper plots teams that have already reached perfect knowledge.
+    """
+    if not series_list:
+        raise ExperimentError("cannot average zero series")
+    by_time: Dict[Time, List[float]] = {}
+    horizon = max(series.times[-1] for series in series_list if series.times)
+    for series in series_list:
+        if not series.times:
+            raise ExperimentError("cannot average an empty series")
+        lookup = dict(zip(series.times, series.values))
+        last = series.values[0]
+        for time in range(min(series.times), horizon + 1):
+            if time in lookup:
+                last = lookup[time]
+            by_time.setdefault(time, []).append(last)
+    times = sorted(by_time)
+    values = [sum(by_time[t]) / len(by_time[t]) for t in times]
+    return TimeSeries(times, values)
+
+
+def converged_mean(series: TimeSeries, after: Time) -> float:
+    """The paper's converged-window average: mean value at ``time >= after``."""
+    return series.tail_mean(after)
+
+
+def convergence_time(series: TimeSeries, tolerance: float = 0.1) -> Time:
+    """First time the series enters — and stays within — its settled band.
+
+    The settled level is the mean of the final quarter of the series;
+    the band is ``level * (1 ± tolerance)`` (or an absolute ``tolerance``
+    band when the level is ~0).  Backs the paper's claim that "the
+    simulation converges to its mean behaviour at time 150 or well
+    before": measure it instead of assuming it.
+    """
+    if not series.times:
+        raise ExperimentError("cannot find convergence of an empty series")
+    tail_start = max(1, (3 * len(series)) // 4)
+    tail = series.values[tail_start:]
+    level = sum(tail) / len(tail)
+    if abs(level) > 1e-9:
+        low, high = level * (1.0 - tolerance), level * (1.0 + tolerance)
+        if low > high:  # negative level
+            low, high = high, low
+    else:
+        low, high = -tolerance, tolerance
+    for index in range(len(series)):
+        if all(low <= v <= high for v in series.values[index:]):
+            return series.times[index]
+    return series.times[-1]

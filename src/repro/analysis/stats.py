@@ -1,0 +1,79 @@
+"""Summary statistics over a set of independent runs.
+
+Everything the paper reports is a mean over 40 seeded runs; to make
+comparisons honest we also carry standard deviation and a normal-
+approximation 95% confidence interval.  Implemented on plain floats —
+the library core has no numpy dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["RunSummary", "summarize", "confidence_interval"]
+
+#: two-sided 95% normal quantile.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Mean / spread / extremes of one measured quantity over runs."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = _Z95 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def format(self, unit: str = "", digits: int = 1) -> str:
+        """Human-readable ``mean ± half-width unit [min..max]``."""
+        low, high = self.ci95
+        half = (high - low) / 2.0
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"{self.mean:.{digits}f} ± {half:.{digits}f}{suffix} "
+            f"[{self.minimum:.{digits}f}..{self.maximum:.{digits}f}]"
+        )
+
+
+def summarize(values: Sequence[float]) -> RunSummary:
+    """Summarize a non-empty sequence of per-run measurements."""
+    if not values:
+        raise ExperimentError("cannot summarize an empty set of runs")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return RunSummary(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """95% confidence interval for the mean of ``values``."""
+    return summarize(values).ci95

@@ -1,0 +1,167 @@
+"""Standalone SVG charts — publication-style output without matplotlib.
+
+The ASCII charts are for terminals; this module renders the same
+series as self-contained SVG files (axes, ticks, legend, one polyline
+per series) so figures can be embedded in docs or viewed in a browser.
+Pure string assembly, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.series import TimeSeries
+from repro.errors import ExperimentError
+
+__all__ = ["svg_plot"]
+
+#: distinguishable series colours (colour-blind-safe-ish palette).
+_COLORS = [
+    "#4477aa",
+    "#ee6677",
+    "#228833",
+    "#ccbb44",
+    "#66ccee",
+    "#aa3377",
+    "#bbbbbb",
+    "#000000",
+]
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 48
+
+
+def svg_plot(
+    series_map: Dict[str, TimeSeries],
+    title: str = "",
+    x_label: str = "time (steps)",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 420,
+) -> str:
+    """Render the series as one SVG document (returned as a string)."""
+    if not series_map:
+        raise ExperimentError("nothing to plot")
+    all_times = [t for s in series_map.values() for t in s.times]
+    all_values = [v for s in series_map.values() for v in s.values]
+    if not all_times:
+        raise ExperimentError("cannot plot empty series")
+    t_min, t_max = min(all_times), max(all_times)
+    v_min, v_max = min(all_values), max(all_values)
+    if t_max == t_min:
+        t_max = t_min + 1
+    if v_max == v_min:
+        v_max = v_min + 1.0
+
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_of(time: float) -> float:
+        return _MARGIN_LEFT + (time - t_min) / (t_max - t_min) * plot_width
+
+    def y_of(value: float) -> float:
+        return _MARGIN_TOP + (1.0 - (value - v_min) / (v_max - v_min)) * plot_height
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14" font-weight="bold">'
+            f"{_escape(title)}</text>"
+        )
+
+    # Axes box and grid lines with tick labels.
+    parts.append(
+        f'<rect x="{_MARGIN_LEFT}" y="{_MARGIN_TOP}" width="{plot_width}" '
+        f'height="{plot_height}" fill="none" stroke="#333" stroke-width="1"/>'
+    )
+    for frac, time, value in _ticks(t_min, t_max, v_min, v_max):
+        x = _MARGIN_LEFT + frac * plot_width
+        y = _MARGIN_TOP + (1.0 - frac) * plot_height
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_TOP}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_TOP + plot_height}" stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_width}" y2="{y:.1f}" '
+            f'stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_TOP + plot_height + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{time:g}</text>"
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.2f}</text>'
+        )
+
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_width / 2:.0f}" y="{height - 10}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+        f"{_escape(x_label)}</text>"
+    )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{_MARGIN_TOP + plot_height / 2:.0f}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11" '
+            f'transform="rotate(-90 14 {_MARGIN_TOP + plot_height / 2:.0f})">'
+            f"{_escape(y_label)}</text>"
+        )
+
+    # Series polylines and legend.
+    legend_y = _MARGIN_TOP + 6
+    for color, (name, series) in zip(_cycle(_COLORS), sorted(series_map.items())):
+        points = " ".join(
+            f"{x_of(t):.1f},{y_of(v):.1f}" for t, v in zip(series.times, series.values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.6"/>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT + 8}" y1="{legend_y}" '
+            f'x2="{_MARGIN_LEFT + 28}" y2="{legend_y}" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + 32}" y="{legend_y + 3}" '
+            f'font-family="sans-serif" font-size="10">{_escape(name)}</text>'
+        )
+        legend_y += 14
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _ticks(
+    t_min: float, t_max: float, v_min: float, v_max: float, count: int = 5
+) -> List[Tuple[float, float, float]]:
+    """(fraction, time-tick, value-tick) triples at even fractions."""
+    ticks = []
+    for index in range(count + 1):
+        frac = index / count
+        ticks.append(
+            (frac, t_min + frac * (t_max - t_min), v_min + frac * (v_max - v_min))
+        )
+    return ticks
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _cycle(colors: List[str]):
+    while True:
+        for color in colors:
+            yield color

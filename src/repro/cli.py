@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Usage::
+
+    repro list                         # show every registered experiment
+    repro run fig1                     # run at quick scale (seconds)
+    repro run fig7 --paper-scale       # paper-scale parameters, 40 runs
+    repro run all --paper-scale        # regenerate everything
+    repro run fig3 --seed 7 --no-plot  # reseed / table-only output
+    repro run fig7 --json-dir results/json --svg-dir results/svg
+    repro report results/json          # re-render archived reports
+
+``python -m repro …`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments import PAPER, QUICK, get_experiment, list_experiments
+from repro.experiments.config import DEFAULT_MASTER_SEED
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Mobile Software Agents for Wireless Network "
+            "Mapping and Dynamic Routing'"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered experiments")
+
+    run = commands.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (fig1..fig11, ext1, abl1..) or 'all'")
+    run.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's node counts and 40 runs (minutes, not seconds)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_MASTER_SEED,
+        help=f"master seed (default {DEFAULT_MASTER_SEED})",
+    )
+    run.add_argument("--no-plot", action="store_true", help="omit ASCII charts")
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    run.add_argument(
+        "--json-dir",
+        metavar="DIR",
+        help="also write each report as DIR/<id>.json (re-renderable later)",
+    )
+    run.add_argument(
+        "--svg-dir",
+        metavar="DIR",
+        help="also write each figure's curves as DIR/<id>.svg",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan (variant, run) pairs over N processes (results identical)",
+    )
+
+    report = commands.add_parser(
+        "report", help="re-render archived JSON reports without re-running"
+    )
+    report.add_argument(
+        "path", help="a report JSON file or a directory of them (from --json-dir)"
+    )
+    report.add_argument("--no-plot", action="store_true", help="omit ASCII charts")
+    return parser
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(scenario: str, done: int, total: int) -> None:
+        print(f"  [{scenario}] run {done}/{total}", file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _command_list() -> int:
+    for experiment in list_experiments():
+        print(f"{experiment.experiment_id:6s}  [{experiment.scenario}]  {experiment.title}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    scale = PAPER if args.paper_scale else QUICK
+    if args.experiment == "all":
+        ids = [e.experiment_id for e in list_experiments()]
+    else:
+        ids = [args.experiment]
+    if getattr(args, "workers", 1) > 1:
+        from repro.experiments.runner import set_default_workers
+
+        set_default_workers(args.workers)
+    progress = _progress_printer(args.quiet)
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        started = time.perf_counter()
+        report = experiment.run(scale, master_seed=args.seed, progress=progress)
+        elapsed = time.perf_counter() - started
+        print(report.render(plots=not args.no_plot))
+        print(f"(scale={scale.name}, seed={args.seed}, wall time {elapsed:.1f}s)")
+        if args.json_dir:
+            from repro.experiments.persistence import save_report
+
+            print(f"wrote {save_report(report, args.json_dir)}")
+        if args.svg_dir:
+            from repro.experiments.persistence import save_svg
+
+            svg_path = save_svg(report, args.svg_dir)
+            if svg_path is not None:
+                print(f"wrote {svg_path}")
+        print()
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.persistence import load_report
+
+    target = pathlib.Path(args.path)
+    paths = sorted(target.glob("*.json")) if target.is_dir() else [target]
+    if not paths:
+        print(f"error: no reports found under {target}", file=sys.stderr)
+        return 1
+    for path in paths:
+        print(load_report(path).render(plots=not args.no_plot))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "report":
+            return _command_report(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: mobile software agents.
+
+* :mod:`repro.core.knowledge` — first-/second-hand topology knowledge,
+* :mod:`repro.core.history` — bounded visit history (routing agents),
+* :mod:`repro.core.stigmergy` — footprint boards (the paper's novelty),
+* :mod:`repro.core.mapping_agents` — random / conscientious /
+  super-conscientious mapping agents, plain and stigmergic,
+* :mod:`repro.core.routing_agents` — random / oldest-node routing agents,
+  with optional direct communication ("visiting") and the paper's
+  future-work stigmergic variant,
+* :mod:`repro.core.comms` — meeting (direct-communication) protocols.
+"""
+
+from repro.core.ant_agents import AntRoutingAgent
+from repro.core.history import VisitHistory
+from repro.core.knowledge import TopologyKnowledge
+from repro.core.overhead import OverheadMeter, aggregate_overheads
+from repro.core.mapping_agents import (
+    ConscientiousAgent,
+    MappingAgent,
+    RandomAgent,
+    SuperConscientiousAgent,
+    make_mapping_agent,
+)
+from repro.core.routing_agents import (
+    GatewayTrack,
+    OldestNodeAgent,
+    RandomRoutingAgent,
+    RoutingAgent,
+    make_routing_agent,
+)
+from repro.core.stigmergy import Footprint, FootprintBoard, StigmergyField
+
+__all__ = [
+    "TopologyKnowledge",
+    "VisitHistory",
+    "Footprint",
+    "FootprintBoard",
+    "StigmergyField",
+    "MappingAgent",
+    "RandomAgent",
+    "ConscientiousAgent",
+    "SuperConscientiousAgent",
+    "make_mapping_agent",
+    "RoutingAgent",
+    "RandomRoutingAgent",
+    "OldestNodeAgent",
+    "AntRoutingAgent",
+    "GatewayTrack",
+    "make_routing_agent",
+    "OverheadMeter",
+    "aggregate_overheads",
+]

@@ -1,0 +1,93 @@
+"""Ant-colony routing agents (comparison baseline, paper refs [9], [11]).
+
+An :class:`AntRoutingAgent` coordinates through *attractive* pheromone
+instead of the paper's repulsive footprints: after each move it
+reinforces, on its new node, the trail pointing back the way it came —
+scaled down by how many hops ago it last stood on a gateway — and its
+movement samples neighbours with probability proportional to trail
+strength (with an exploration probability keeping it ergodic, the
+standard ACO recipe).  It installs routing-table entries exactly like
+every other routing agent, so the connectivity metric compares the
+*coordination styles*, not different bookkeeping.
+
+The expected outcome (ext2): attraction concentrates ants around
+gateways, which refreshes nearby routes at the expense of the periphery
+— the paper's dispersal-based agents should win on network-wide
+connectivity.  "A bigger ant population results in faster convergence
+while consuming higher bandwidth" [11] still shows as the population
+effect.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.routing_agents import ROUTING_AGENT_KINDS, RoutingAgent
+from repro.errors import ConfigurationError
+from repro.core.pheromone import PheromoneField
+from repro.types import AgentId, NodeId, Time
+
+__all__ = ["AntRoutingAgent"]
+
+
+class AntRoutingAgent(RoutingAgent):
+    """Moves by pheromone roulette; deposits trails toward gateways."""
+
+    kind = "ant"
+
+    def __init__(
+        self,
+        agent_id: AgentId,
+        start: NodeId,
+        rng: random.Random,
+        history_size: int = 10,
+        visiting: bool = False,
+        stigmergic: bool = False,
+        follow_probability: float = 0.85,
+        deposit_decay: float = 0.8,
+    ) -> None:
+        super().__init__(
+            agent_id,
+            start,
+            rng,
+            history_size=history_size,
+            visiting=visiting,
+            stigmergic=stigmergic,
+        )
+        if not 0.0 <= follow_probability <= 1.0:
+            raise ConfigurationError(
+                f"follow_probability must be in [0, 1], got {follow_probability}"
+            )
+        if not 0.0 < deposit_decay <= 1.0:
+            raise ConfigurationError(
+                f"deposit_decay must be in (0, 1], got {deposit_decay}"
+            )
+        self.follow_probability = follow_probability
+        self.deposit_decay = deposit_decay
+        #: injected by the routing world when ants are in play.
+        self.pheromone: Optional[PheromoneField] = None
+
+    def _pick(self, candidates: List[NodeId]) -> NodeId:
+        if (
+            self.pheromone is None
+            or self._rng.random() >= self.follow_probability
+        ):
+            return self._rng.choice(candidates)
+        weights = self.pheromone.weights(self.location, candidates)
+        return self._rng.choices(candidates, weights=weights, k=1)[0]
+
+    def move_to(self, target: NodeId, time: Time, target_is_gateway: bool) -> NodeId:
+        origin = super().move_to(target, time, target_is_gateway)
+        if self.pheromone is not None and self.tracks:
+            best_hops = min(track.hops for track in self.tracks.values())
+            if best_hops > 0:
+                # "Going back the way I came leads to a gateway" — the
+                # closer that gateway, the stronger the reinforcement.
+                self.pheromone.deposit(
+                    self.location, origin, self.deposit_decay**best_hops
+                )
+        return origin
+
+
+ROUTING_AGENT_KINDS[AntRoutingAgent.kind] = AntRoutingAgent

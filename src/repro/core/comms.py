@@ -1,0 +1,110 @@
+"""Direct communication: what happens when agents meet on a node.
+
+Both scenarios let co-located agents talk.  Exchanges must be
+*order-independent* — the outcome cannot depend on which agent the world
+iterates first — so every protocol here works from snapshots taken
+before anyone absorbs anything.
+
+Mapping (§II-B.1 phase 2): every agent on a node learns everything every
+other agent there knows, stored as second-hand knowledge.  We compute the
+group's combined knowledge once and let each member absorb it; absorbing
+one's own contribution is a harmless no-op for movement (an agent's own
+first-hand recency already dominates its combined view), and it turns a
+quadratic all-pairs exchange into a linear one.
+
+Routing (§III-F, only when ``visiting`` is enabled): the group adopts the
+best gateway track per gateway and every member ends up with the merged
+visit history — the paper's "after a meeting, all participating agents
+are going to be identical in terms of history knowledge".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.core.history import VisitHistory
+from repro.core.mapping_agents import MappingAgent
+from repro.core.routing_agents import GatewayTrack, RoutingAgent
+from repro.types import Edge, NEVER, NodeId, Time
+
+__all__ = [
+    "group_by_location",
+    "exchange_mapping_knowledge",
+    "exchange_routing_knowledge",
+]
+
+
+def group_by_location(agents: Sequence) -> Dict[NodeId, List]:
+    """Bucket agents by the node they currently stand on."""
+    groups: Dict[NodeId, List] = defaultdict(list)
+    for agent in agents:
+        groups[agent.location].append(agent)
+    return groups
+
+
+def exchange_mapping_knowledge(agents: Sequence[MappingAgent]) -> int:
+    """Run phase-2 meetings for mapping agents; returns number of meetings.
+
+    For every node holding two or more agents, the combined edge set and
+    freshest visit map of the group is built from pre-exchange state and
+    absorbed by every member as second-hand knowledge.
+    """
+    meetings = 0
+    for __, group in group_by_location(agents).items():
+        if len(group) < 2:
+            continue
+        meetings += 1
+        combined_edges: Set[Edge] = set()
+        combined_visits: Dict[NodeId, Time] = {}
+        for agent in group:
+            combined_edges.update(agent.knowledge.shareable_edges())
+            for node, time in agent.knowledge.shareable_visits().items():
+                if time > combined_visits.get(node, NEVER):
+                    combined_visits[node] = time
+        payload = len(combined_edges) + len(combined_visits)
+        for agent in group:
+            agent.knowledge.absorb(combined_edges, combined_visits)
+            agent.overhead.meetings += 1
+            agent.overhead.items_received += payload
+    return meetings
+
+
+def exchange_routing_knowledge(agents: Sequence[RoutingAgent]) -> int:
+    """Run visiting meetings for routing agents; returns number of meetings.
+
+    Only agents with ``visiting`` enabled participate.  The group's best
+    track per gateway and merged history are computed from pre-exchange
+    snapshots, then written back to every participant.
+    """
+    meetings = 0
+    for __, group in group_by_location(agents).items():
+        participants = [agent for agent in group if agent.visiting]
+        if len(participants) < 2:
+            continue
+        meetings += 1
+        best_tracks: Dict[NodeId, GatewayTrack] = {}
+        for agent in participants:
+            for gateway, track in agent.tracks.items():
+                current = best_tracks.get(gateway)
+                if current is None or track.better_than(current):
+                    best_tracks[gateway] = track
+        merged_history = _merged_history(participants)
+        payload = len(best_tracks) + len(merged_history)
+        for agent in participants:
+            agent.tracks = dict(best_tracks)
+            agent.history.merge_from(merged_history)
+            agent.overhead.meetings += 1
+            agent.overhead.items_received += payload
+    return meetings
+
+
+def _merged_history(participants: Iterable[RoutingAgent]) -> VisitHistory:
+    """The union of participants' histories in one oversized history."""
+    capacities = [agent.history.capacity for agent in participants]
+    merged = VisitHistory(max(capacities) * max(2, len(capacities)))
+    for agent in participants:
+        for node, time in agent.history.items():
+            if time > merged.last_visit(node):
+                merged.record(node, time)
+    return merged

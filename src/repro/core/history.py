@@ -1,0 +1,68 @@
+"""Bounded visit history for routing agents.
+
+The routing scenario's "history size" parameter (paper §III-E) is the
+number of node visits an agent can remember.  The oldest-node agent
+"preferentially visits the adjacent node that it last visited the longest
+time before, that it never visited, or that it doesn't remember visiting"
+— forgetting matters, so the history evicts its least recently visited
+entry when full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import NEVER, NodeId, Time
+
+__all__ = ["VisitHistory"]
+
+
+class VisitHistory:
+    """A capacity-bounded map from node id to last visit time."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"history capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._visits: Dict[NodeId, Time] = {}
+
+    def __len__(self) -> int:
+        return len(self._visits)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._visits
+
+    def record(self, node: NodeId, time: Time) -> None:
+        """Record a visit, evicting the stalest entry if over capacity."""
+        self._visits[node] = time
+        if len(self._visits) > self.capacity:
+            stalest = min(self._visits, key=lambda n: (self._visits[n], n))
+            del self._visits[stalest]
+
+    def last_visit(self, node: NodeId) -> Time:
+        """Last remembered visit to ``node``; ``NEVER`` when forgotten/unvisited."""
+        return self._visits.get(node, NEVER)
+
+    def items(self) -> Iterator[Tuple[NodeId, Time]]:
+        """All remembered ``(node, time)`` pairs (arbitrary order)."""
+        return iter(self._visits.items())
+
+    def merge_from(self, other: "VisitHistory") -> None:
+        """Adopt another agent's memories — the paper's meeting side effect.
+
+        After a meeting "all participating agents are going to be
+        identical in terms of history knowledge" (§III-F).  Keeps the
+        freshest time per node, then trims back to capacity by evicting
+        the stalest entries.
+        """
+        for node, time in other._visits.items():
+            if time > self._visits.get(node, NEVER):
+                self._visits[node] = time
+        while len(self._visits) > self.capacity:
+            stalest = min(self._visits, key=lambda n: (self._visits[n], n))
+            del self._visits[stalest]
+
+    def snapshot(self) -> Dict[NodeId, Time]:
+        """A defensive copy of the remembered visits."""
+        return dict(self._visits)

@@ -1,0 +1,118 @@
+"""An agent's knowledge of the network topology.
+
+The paper (after Minar et al.) distinguishes *first-hand* knowledge —
+edges and node visits the agent experienced itself — from *second-hand*
+knowledge learned from peers during co-located meetings.  Conscientious
+agents move using first-hand visit recency only; super-conscientious
+agents combine both; the finishing-time metric counts an agent as done
+when its *combined* edge knowledge covers the whole network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.types import Edge, NEVER, NodeId, Time
+
+__all__ = ["TopologyKnowledge"]
+
+
+class TopologyKnowledge:
+    """First- and second-hand topology knowledge of one agent."""
+
+    def __init__(self) -> None:
+        self._edges_first: Set[Edge] = set()
+        self._edges_all: Set[Edge] = set()
+        self._visits_first: Dict[NodeId, Time] = {}
+        self._visits_second: Dict[NodeId, Time] = {}
+
+    # ------------------------------------------------------------------
+    # First-hand learning
+    # ------------------------------------------------------------------
+
+    def observe_node(
+        self, node: NodeId, out_neighbors: Iterable[NodeId], time: Time
+    ) -> None:
+        """Record standing on ``node`` at ``time`` and seeing its out-edges."""
+        self._visits_first[node] = time
+        for neighbor in out_neighbors:
+            edge = (node, neighbor)
+            self._edges_first.add(edge)
+            self._edges_all.add(edge)
+
+    # ------------------------------------------------------------------
+    # Second-hand learning (meetings)
+    # ------------------------------------------------------------------
+
+    def absorb(self, edges: Iterable[Edge], visits: Dict[NodeId, Time]) -> None:
+        """Merge peer-provided edges and visit times as second-hand knowledge.
+
+        Visit times keep the most recent report per node; edges accumulate
+        monotonically.  Absorbing is idempotent.
+        """
+        self._edges_all.update(edges)
+        mine = self._visits_second
+        for node, time in visits.items():
+            if time > mine.get(node, NEVER):
+                mine[node] = time
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def known_edge_count(self) -> int:
+        """Number of distinct edges known first- or second-hand."""
+        return len(self._edges_all)
+
+    @property
+    def first_hand_edges(self) -> FrozenSet[Edge]:
+        """Edges the agent traversed or observed itself."""
+        return frozenset(self._edges_first)
+
+    @property
+    def all_edges(self) -> FrozenSet[Edge]:
+        """Every known edge, first- or second-hand."""
+        return frozenset(self._edges_all)
+
+    def knows_edge(self, edge: Edge) -> bool:
+        """Whether ``edge`` is known (either hand)."""
+        return edge in self._edges_all
+
+    def last_first_hand_visit(self, node: NodeId) -> Time:
+        """When the agent itself last stood on ``node`` (``NEVER`` if not)."""
+        return self._visits_first.get(node, NEVER)
+
+    def last_combined_visit(self, node: NodeId) -> Time:
+        """Most recent visit to ``node`` by anyone the agent knows of."""
+        return max(
+            self._visits_first.get(node, NEVER),
+            self._visits_second.get(node, NEVER),
+        )
+
+    def completeness(self, total_edges: int) -> float:
+        """Fraction of the network's edges this agent knows."""
+        if total_edges <= 0:
+            return 1.0
+        return min(1.0, self.known_edge_count / total_edges)
+
+    # ------------------------------------------------------------------
+    # Sharing (what a peer receives in a meeting)
+    # ------------------------------------------------------------------
+
+    def shareable_edges(self) -> Set[Edge]:
+        """Edges to hand to a peer — everything known, per Minar's model.
+
+        Returns the live internal set for speed; callers must not mutate.
+        """
+        return self._edges_all
+
+    def shareable_visits(self) -> Dict[NodeId, Time]:
+        """Visit-recency map to hand to a peer (live internal view)."""
+        # A peer cares about the freshest visit per node regardless of
+        # which hand it is on our side; compute the combined view.
+        combined = dict(self._visits_second)
+        for node, time in self._visits_first.items():
+            if time > combined.get(node, NEVER):
+                combined[node] = time
+        return combined

@@ -1,0 +1,186 @@
+"""Mapping agents: random, conscientious, super-conscientious.
+
+Each agent follows the paper's per-step protocol (§II-B.1): learn the
+out-edges of the current node, learn from co-located peers, choose the
+next node, and — if stigmergic — imprint the chosen target on the current
+node so later agents avoid following.
+
+Movement policies:
+
+* **random** — uniform choice among current out-neighbours,
+* **conscientious** — the out-neighbour never visited / visited least
+  recently *first-hand* (a depth-first-search-like sweep),
+* **super-conscientious** — same recency rule but over combined first-
+  plus second-hand visit knowledge.
+
+Every policy exists in a plain (Minar baseline) and a stigmergic (paper
+contribution) flavour, selected by the ``stigmergic`` flag.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.knowledge import TopologyKnowledge
+from repro.core.overhead import OverheadMeter
+from repro.core.stigmergy import StigmergyField
+from repro.errors import ConfigurationError
+from repro.types import AgentId, NodeId, Time
+
+__all__ = [
+    "MappingAgent",
+    "RandomAgent",
+    "ConscientiousAgent",
+    "SuperConscientiousAgent",
+    "MAPPING_AGENT_KINDS",
+    "make_mapping_agent",
+]
+
+
+class MappingAgent:
+    """Base class: identity, location, knowledge, and the step protocol."""
+
+    #: Short machine-readable policy name, set by subclasses.
+    kind: str = "base"
+
+    def __init__(
+        self,
+        agent_id: AgentId,
+        start: NodeId,
+        rng: random.Random,
+        stigmergic: bool = False,
+        epsilon: float = 0.0,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.agent_id = agent_id
+        self.location = start
+        self.stigmergic = stigmergic
+        #: Minar's dispersal fix: with probability ``epsilon`` the agent
+        #: ignores its policy and moves uniformly at random.  The paper
+        #: notes Minar et al. "add randomness to the decision that the
+        #: super-conscientious agents make in order to disperse their
+        #: agents across the network" (§II-C.3); stigmergy is the paper's
+        #: alternative to this hack (compare the abl3 experiment).
+        self.epsilon = epsilon
+        self.knowledge = TopologyKnowledge()
+        self.overhead = OverheadMeter()
+        self._rng = rng
+
+    # -- step protocol --------------------------------------------------
+
+    def observe(self, out_neighbors: Sequence[NodeId], time: Time) -> None:
+        """Phase 1: learn the out-edges of the current node (first-hand)."""
+        self.knowledge.observe_node(self.location, out_neighbors, time)
+
+    def choose_next(
+        self,
+        out_neighbors: Sequence[NodeId],
+        time: Time,
+        field: Optional[StigmergyField] = None,
+    ) -> Optional[NodeId]:
+        """Phase 3: pick the next node, or ``None`` when stranded.
+
+        When the agent is stigmergic and a field is supplied, fresh
+        footprints on the current node veto candidates first (falling
+        back to all candidates if the veto empties the set).
+        """
+        candidates: List[NodeId] = sorted(out_neighbors)
+        if not candidates:
+            return None
+        self.overhead.decisions += 1
+        if self.stigmergic and field is not None:
+            self.overhead.footprint_lookups += 1
+            candidates = field.filter_candidates(self.location, candidates, time)
+        self.overhead.candidates_examined += len(candidates)
+        if self.epsilon > 0.0 and self._rng.random() < self.epsilon:
+            return self._rng.choice(candidates)
+        return self._pick(candidates)
+
+    def leave_footprint(
+        self, target: NodeId, time: Time, field: StigmergyField
+    ) -> None:
+        """Phase 4: imprint the chosen target on the current node."""
+        if self.stigmergic:
+            self.overhead.footprints_stamped += 1
+            field.stamp(self.location, self.agent_id, target, time)
+
+    def move_to(self, target: NodeId) -> None:
+        """Commit the move chosen this step."""
+        self.location = target
+
+    # -- policy ----------------------------------------------------------
+
+    def _pick(self, candidates: List[NodeId]) -> NodeId:
+        raise NotImplementedError
+
+    def _least_recent(self, candidates: List[NodeId], recency) -> NodeId:
+        """Uniform choice among the candidates with the oldest recency."""
+        best_time = min(recency(candidate) for candidate in candidates)
+        best = [candidate for candidate in candidates if recency(candidate) == best_time]
+        if len(best) == 1:
+            return best[0]
+        return self._rng.choice(best)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flavour = "stigmergic " if self.stigmergic else ""
+        return f"<{flavour}{self.kind} agent {self.agent_id} at node {self.location}>"
+
+
+class RandomAgent(MappingAgent):
+    """Moves to a uniformly random adjacent node each step."""
+
+    kind = "random"
+
+    def _pick(self, candidates: List[NodeId]) -> NodeId:
+        return self._rng.choice(candidates)
+
+
+class ConscientiousAgent(MappingAgent):
+    """Prefers the neighbour least recently visited *first-hand*.
+
+    Ignores what peers tell it when moving — second-hand knowledge is
+    stored (it counts toward map completeness) but never steers.
+    """
+
+    kind = "conscientious"
+
+    def _pick(self, candidates: List[NodeId]) -> NodeId:
+        return self._least_recent(candidates, self.knowledge.last_first_hand_visit)
+
+
+class SuperConscientiousAgent(MappingAgent):
+    """Prefers the neighbour least recently visited by *anyone it knows of*."""
+
+    kind = "super-conscientious"
+
+    def _pick(self, candidates: List[NodeId]) -> NodeId:
+        return self._least_recent(candidates, self.knowledge.last_combined_visit)
+
+
+#: kind-string -> class, for configs and the CLI.
+MAPPING_AGENT_KINDS = {
+    RandomAgent.kind: RandomAgent,
+    ConscientiousAgent.kind: ConscientiousAgent,
+    SuperConscientiousAgent.kind: SuperConscientiousAgent,
+}
+
+
+def make_mapping_agent(
+    kind: str,
+    agent_id: AgentId,
+    start: NodeId,
+    rng: random.Random,
+    stigmergic: bool = False,
+    epsilon: float = 0.0,
+) -> MappingAgent:
+    """Instantiate a mapping agent by kind name."""
+    try:
+        cls = MAPPING_AGENT_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mapping agent kind {kind!r}; "
+            f"expected one of {sorted(MAPPING_AGENT_KINDS)}"
+        ) from None
+    return cls(agent_id, start, rng, stigmergic=stigmergic, epsilon=epsilon)

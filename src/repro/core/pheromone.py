@@ -1,0 +1,85 @@
+"""Attractive pheromone trails (the ant-colony comparison baseline).
+
+The paper's related work (Ducatelle et al.'s AntHocNet [9], Zhang et
+al.'s pheromone routing [11]) coordinates agents with *attractive*
+pheromone: agents that recently visited a gateway strengthen trails
+pointing back toward it, and other agents preferentially follow strong
+trails.  This is the conceptual opposite of the paper's *repulsive*
+footprints, so the ``ext2`` experiment pits the two against each other
+on the identical routing task.
+
+:class:`PheromoneField` stores, per node, a trail strength toward each
+neighbour.  Strengths evaporate multiplicatively each step and tiny
+residues are pruned, so the field stays sparse and recent information
+dominates — the standard ACO construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId
+
+__all__ = ["PheromoneField"]
+
+#: strengths below this are pruned during evaporation.
+_PRUNE_BELOW = 1e-4
+
+
+class PheromoneField:
+    """Per-node trail strengths toward neighbours."""
+
+    def __init__(self, evaporation: float = 0.05, initial: float = 0.1) -> None:
+        if not 0.0 <= evaporation < 1.0:
+            raise ConfigurationError(
+                f"evaporation must be in [0, 1), got {evaporation}"
+            )
+        if initial <= 0.0:
+            raise ConfigurationError(f"initial strength must be > 0, got {initial}")
+        self.evaporation = evaporation
+        #: the strength read for a trail nobody reinforced; keeping it
+        #: positive gives every neighbour a nonzero roulette weight.
+        self.initial = initial
+        self._trails: Dict[NodeId, Dict[NodeId, float]] = {}
+
+    def deposit(self, node: NodeId, toward: NodeId, amount: float) -> None:
+        """Reinforce the trail on ``node`` pointing at ``toward``."""
+        if amount <= 0.0:
+            raise ConfigurationError(f"deposit must be positive, got {amount}")
+        trails = self._trails.setdefault(node, {})
+        trails[toward] = trails.get(toward, 0.0) + amount
+
+    def strength(self, node: NodeId, toward: NodeId) -> float:
+        """Trail strength (including the baseline ``initial``)."""
+        return self.initial + self._trails.get(node, {}).get(toward, 0.0)
+
+    def weights(self, node: NodeId, candidates: Iterable[NodeId]) -> List[float]:
+        """Roulette weights for ``candidates`` out of ``node``."""
+        trails = self._trails.get(node, {})
+        return [self.initial + trails.get(c, 0.0) for c in candidates]
+
+    def evaporate(self) -> None:
+        """Decay every trail by the evaporation rate; prune residue."""
+        keep = 1.0 - self.evaporation
+        empty_nodes = []
+        for node, trails in self._trails.items():
+            dead = []
+            for toward in trails:
+                trails[toward] *= keep
+                if trails[toward] < _PRUNE_BELOW:
+                    dead.append(toward)
+            for toward in dead:
+                del trails[toward]
+            if not trails:
+                empty_nodes.append(node)
+        for node in empty_nodes:
+            del self._trails[node]
+
+    def total(self) -> float:
+        """Sum of all deposited (non-baseline) strength — diagnostics."""
+        return sum(sum(trails.values()) for trails in self._trails.values())
+
+    def trail_count(self) -> int:
+        """Number of live (node, toward) trails."""
+        return sum(len(trails) for trails in self._trails.values())

@@ -1,0 +1,38 @@
+"""Experiment harness: one registered experiment per paper figure.
+
+Every figure of the paper's evaluation (Figures 1–11), the paper's
+future-work extension (stigmergic routing), and two ablations are
+registered here.  Each experiment can run at ``PAPER`` scale (the paper's
+node counts, 40 runs — what EXPERIMENTS.md reports) or ``QUICK`` scale
+(small networks, few runs — what benchmarks and CI exercise).
+"""
+
+from repro.experiments.config import PAPER, QUICK, Scale
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import (
+    MappingVariantResult,
+    RoutingVariantResult,
+    run_mapping_variants,
+    run_routing_variants,
+)
+
+__all__ = [
+    "Scale",
+    "PAPER",
+    "QUICK",
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentReport",
+    "run_mapping_variants",
+    "run_routing_variants",
+    "MappingVariantResult",
+    "RoutingVariantResult",
+]

@@ -1,0 +1,109 @@
+"""Experiment scales.
+
+``PAPER`` mirrors the paper's setup: a 300-node / ~2164-edge mapping
+network, a 250-node / 12-gateway MANET, 300-step routing runs averaged
+over steps 150..300, and 40 independent seeded runs of everything.
+``QUICK`` shrinks every dimension so the whole suite runs in seconds —
+benchmarks, CI and integration tests use it; the comparative *shapes*
+already show at this scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.generator import GeneratorConfig
+
+__all__ = ["Scale", "PAPER", "QUICK", "DEFAULT_MASTER_SEED"]
+
+#: Master seed every experiment derives its run seeds from by default.
+DEFAULT_MASTER_SEED = 2010
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All size knobs for one tier of experiment fidelity."""
+
+    name: str
+    runs: int
+    # --- mapping scenario -------------------------------------------
+    mapping_nodes: int
+    mapping_target_edges: Optional[int]
+    mapping_max_steps: int
+    populations: Tuple[int, ...]
+    team_population: int
+    # --- routing scenario -------------------------------------------
+    routing_nodes: int
+    routing_gateways: int
+    routing_population: int
+    routing_steps: int
+    routing_converged_after: int
+    routing_populations: Tuple[int, ...]
+    history_sizes: Tuple[int, ...]
+    default_history: int
+    #: history sizes swept by the visiting figures (paper: "for different
+    #: cache size").  The chasing penalty of visiting on oldest-node
+    #: agents only bites once histories are rich enough that the locally
+    #: oldest candidate is usually unique.
+    visiting_history_sizes: Tuple[int, ...] = (10, 25, 60)
+
+    def mapping_generator_config(self, heterogeneity: float = 0.3) -> GeneratorConfig:
+        """The mapping-network generator preset at this scale."""
+        return GeneratorConfig(
+            node_count=self.mapping_nodes,
+            target_edges=self.mapping_target_edges,
+            edge_tolerance=max(30, (self.mapping_target_edges or 100) // 30),
+            range_heterogeneity=heterogeneity,
+            require_strong_connectivity=True,
+        )
+
+    def routing_generator_config(self) -> GeneratorConfig:
+        """The MANET generator preset at this scale."""
+        return GeneratorConfig(
+            node_count=self.routing_nodes,
+            target_edges=None,
+            range_heterogeneity=0.25,
+            require_strong_connectivity=False,
+            gateway_count=self.routing_gateways,
+            mobile_fraction=0.5,
+        )
+
+
+PAPER = Scale(
+    name="paper",
+    runs=40,
+    mapping_nodes=300,
+    mapping_target_edges=2164,
+    mapping_max_steps=60_000,
+    populations=(1, 2, 5, 10, 15, 25, 40),
+    team_population=15,
+    routing_nodes=250,
+    routing_gateways=12,
+    routing_population=100,
+    routing_steps=300,
+    routing_converged_after=150,
+    routing_populations=(10, 25, 50, 100, 200),
+    history_sizes=(2, 5, 10, 20, 50),
+    default_history=10,
+    visiting_history_sizes=(10, 25, 60),
+)
+
+QUICK = Scale(
+    name="quick",
+    runs=3,
+    mapping_nodes=40,
+    mapping_target_edges=None,
+    mapping_max_steps=6_000,
+    populations=(1, 4, 10),
+    team_population=6,
+    routing_nodes=60,
+    routing_gateways=4,
+    routing_population=20,
+    routing_steps=80,
+    routing_converged_after=40,
+    routing_populations=(5, 15, 30),
+    history_sizes=(2, 8, 20),
+    default_history=8,
+    visiting_history_sizes=(8, 20),
+)

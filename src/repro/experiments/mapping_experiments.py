@@ -1,0 +1,530 @@
+"""Mapping-scenario experiments: paper Figures 1–6 plus ablations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.experiments.config import DEFAULT_MASTER_SEED, Scale
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import (
+    MappingVariantResult,
+    ProgressCallback,
+    run_mapping_variants,
+)
+from repro.mapping.world import MappingWorldConfig
+from repro.rng import derive_seed
+
+__all__ = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "abl1",
+    "abl2",
+    "abl3",
+    "abl4",
+    "abl5",
+]
+
+
+def _world(
+    kind: str,
+    population: int,
+    stigmergic: bool,
+    scale: Scale,
+    epsilon: float = 0.0,
+) -> MappingWorldConfig:
+    return MappingWorldConfig(
+        agent_kind=kind,
+        population=population,
+        stigmergic=stigmergic,
+        epsilon=epsilon,
+        max_steps=scale.mapping_max_steps,
+    )
+
+
+def _finishing_row(report: ExperimentReport, result: MappingVariantResult) -> None:
+    summary = result.finishing_summary
+    report.add_row(
+        result.name,
+        f"{summary.mean:.0f}",
+        summary.format("steps", digits=0),
+        f"{result.finished_runs}/{summary.count}",
+    )
+
+
+def _single_agent_figure(
+    experiment_id: str,
+    title: str,
+    claim: str,
+    stigmergic: bool,
+    scale: Scale,
+    master_seed: int,
+    progress: Optional[ProgressCallback],
+) -> ExperimentReport:
+    variants = {
+        "random": _world("random", 1, stigmergic, scale),
+        "conscientious": _world("conscientious", 1, stigmergic, scale),
+    }
+    outcomes = run_mapping_variants(
+        scale.mapping_generator_config(), variants, scale.runs, master_seed, progress
+    )
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        paper_claim=claim,
+        columns=["agent", "mean finish", "finish time", "finished runs"],
+        y_label="team average knowledge",
+    )
+    for name in ("random", "conscientious"):
+        _finishing_row(report, outcomes[name])
+        report.series[name] = outcomes[name].average_knowledge_series()
+    ratio = (
+        outcomes["random"].finishing_summary.mean
+        / max(1.0, outcomes["conscientious"].finishing_summary.mean)
+    )
+    report.add_note(f"random/conscientious finishing-time ratio: {ratio:.2f}x")
+    return report
+
+
+def fig1(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Figure 1: single Minar agent, random vs conscientious."""
+    return _single_agent_figure(
+        "fig1",
+        "single agent, Minar algorithms (random vs conscientious)",
+        "conscientious finishes ~3000 steps vs ~8000 for random (~2.7x faster)",
+        stigmergic=False,
+        scale=scale,
+        master_seed=master_seed,
+        progress=progress,
+    )
+
+
+def fig2(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Figure 2: single stigmergic agent, random vs conscientious."""
+    report = _single_agent_figure(
+        "fig2",
+        "single agent, stigmergic algorithms (random vs conscientious)",
+        "stigmergy beats fig1: ~2500 (conscientious) and ~6600 (random) steps",
+        stigmergic=True,
+        scale=scale,
+        master_seed=master_seed,
+        progress=progress,
+    )
+    return report
+
+
+def _team_figure(
+    experiment_id: str,
+    title: str,
+    claim: str,
+    stigmergic: bool,
+    scale: Scale,
+    master_seed: int,
+    progress: Optional[ProgressCallback],
+) -> ExperimentReport:
+    variants = {
+        "conscientious-team": _world(
+            "conscientious", scale.team_population, stigmergic, scale
+        ),
+    }
+    outcomes = run_mapping_variants(
+        scale.mapping_generator_config(), variants, scale.runs, master_seed, progress
+    )
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        paper_claim=claim,
+        columns=["agent", "mean finish", "finish time", "finished runs"],
+        y_label="team average knowledge",
+    )
+    result = outcomes["conscientious-team"]
+    _finishing_row(report, result)
+    report.series["conscientious-team"] = result.average_knowledge_series()
+    return report
+
+
+def fig3(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Figure 3: knowledge over time for a team of Minar conscientious agents."""
+    return _team_figure(
+        "fig3",
+        f"knowledge over time, team of Minar conscientious agents",
+        "15 cooperating conscientious agents finish mapping in ~140 steps",
+        stigmergic=False,
+        scale=scale,
+        master_seed=master_seed,
+        progress=progress,
+    )
+
+
+def fig4(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Figure 4: knowledge over time for a team of stigmergic conscientious agents."""
+    return _team_figure(
+        "fig4",
+        "knowledge over time, team of stigmergic conscientious agents",
+        "15 stigmergic conscientious agents finish ~10% faster (~125 vs ~140 steps)",
+        stigmergic=True,
+        scale=scale,
+        master_seed=master_seed,
+        progress=progress,
+    )
+
+
+def _population_sweep(
+    experiment_id: str,
+    title: str,
+    claim: str,
+    stigmergic: bool,
+    scale: Scale,
+    master_seed: int,
+    progress: Optional[ProgressCallback],
+) -> ExperimentReport:
+    variants: Dict[str, MappingWorldConfig] = {}
+    for population in scale.populations:
+        variants[f"conscientious@{population}"] = _world(
+            "conscientious", population, stigmergic, scale
+        )
+        variants[f"super-conscientious@{population}"] = _world(
+            "super-conscientious", population, stigmergic, scale
+        )
+    outcomes = run_mapping_variants(
+        scale.mapping_generator_config(), variants, scale.runs, master_seed, progress
+    )
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        paper_claim=claim,
+        columns=[
+            "population",
+            "conscientious finish",
+            "super-conscientious finish",
+            "winner",
+        ],
+    )
+    for population in scale.populations:
+        conscientious = outcomes[f"conscientious@{population}"].finishing_summary
+        superc = outcomes[f"super-conscientious@{population}"].finishing_summary
+        if superc.mean < conscientious.mean:
+            winner = "super-conscientious"
+        elif superc.mean > conscientious.mean:
+            winner = "conscientious"
+        else:
+            winner = "tie"
+        report.add_row(
+            population,
+            f"{conscientious.mean:.0f} ± {conscientious.stderr * 2:.0f}",
+            f"{superc.mean:.0f} ± {superc.stderr * 2:.0f}",
+            winner,
+        )
+    return report
+
+
+def fig5(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Figure 5: Minar conscientious vs super-conscientious across populations."""
+    return _population_sweep(
+        "fig5",
+        "conscientious vs super-conscientious across populations (Minar agents)",
+        "super wins at small populations; conscientious wins at large populations",
+        stigmergic=False,
+        scale=scale,
+        master_seed=master_seed,
+        progress=progress,
+    )
+
+
+def fig6(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Figure 6: stigmergic conscientious vs super-conscientious across populations."""
+    return _population_sweep(
+        "fig6",
+        "conscientious vs super-conscientious across populations (stigmergic agents)",
+        "with stigmergy, super-conscientious wins (or ties) at every population size",
+        stigmergic=True,
+        scale=scale,
+        master_seed=master_seed,
+        progress=progress,
+    )
+
+
+def abl1(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Ablation: footprint freshness window for stigmergic teams."""
+    variants: Dict[str, MappingWorldConfig] = {}
+    for freshness in (1, 5, 20, None):
+        label = "inf" if freshness is None else str(freshness)
+        variants[f"freshness={label}"] = replace(
+            _world("conscientious", scale.team_population, True, scale),
+            footprint_freshness=freshness,
+        )
+    variants["no-stigmergy"] = _world(
+        "conscientious", scale.team_population, False, scale
+    )
+    outcomes = run_mapping_variants(
+        scale.mapping_generator_config(), variants, scale.runs, master_seed, progress
+    )
+    report = ExperimentReport(
+        experiment_id="abl1",
+        title="ablation: footprint freshness window (stigmergic conscientious team)",
+        paper_claim="(design choice; paper fixes one footprint scheme)",
+        columns=["variant", "mean finish", "finish time", "finished runs"],
+    )
+    for name in sorted(outcomes):
+        _finishing_row(report, outcomes[name])
+    return report
+
+
+def abl2(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Ablation: Minar's symmetric environment vs the paper's directed one."""
+    variants = {
+        "conscientious": _world("conscientious", scale.team_population, False, scale),
+        "random": _world("random", scale.team_population, False, scale),
+    }
+    report = ExperimentReport(
+        experiment_id="abl2",
+        title="ablation: symmetric (Minar) vs heterogeneous (paper) radio ranges",
+        paper_claim="all Minar results and discussions hold in the new environment",
+        columns=["environment", "agent", "mean finish", "finish time", "finished runs"],
+    )
+    for label, heterogeneity in (("minar-symmetric", 0.0), ("paper-directed", 0.3)):
+        outcomes = run_mapping_variants(
+            scale.mapping_generator_config(heterogeneity=heterogeneity),
+            variants,
+            scale.runs,
+            master_seed,
+            progress,
+        )
+        for name in ("random", "conscientious"):
+            summary = outcomes[name].finishing_summary
+            report.add_row(
+                label,
+                name,
+                f"{summary.mean:.0f}",
+                summary.format("steps", digits=0),
+                f"{outcomes[name].finished_runs}/{summary.count}",
+            )
+        ordering_holds = (
+            outcomes["conscientious"].finishing_summary.mean
+            < outcomes["random"].finishing_summary.mean
+        )
+        report.add_note(
+            f"{label}: conscientious beats random = {ordering_holds}"
+        )
+    return report
+
+
+def abl3(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Ablation: Minar's epsilon-randomness vs stigmergy for crowded super agents.
+
+    The paper notes Minar et al. "add randomness to the decision that the
+    super-conscientious agents make in order to disperse their agents",
+    and that "in the best case they make super-conscientious and
+    conscientious agents identical in high population size runs" — while
+    the paper's stigmergy aims to beat, not just match, conscientious.
+    """
+    population = max(scale.populations)
+    variants: Dict[str, MappingWorldConfig] = {
+        "conscientious (reference)": _world("conscientious", population, False, scale),
+        "super eps=0.0": _world("super-conscientious", population, False, scale),
+        "super eps=0.1": _world(
+            "super-conscientious", population, False, scale, epsilon=0.1
+        ),
+        "super eps=0.3": _world(
+            "super-conscientious", population, False, scale, epsilon=0.3
+        ),
+        "super stigmergic": _world("super-conscientious", population, True, scale),
+    }
+    outcomes = run_mapping_variants(
+        scale.mapping_generator_config(), variants, scale.runs, master_seed, progress
+    )
+    report = ExperimentReport(
+        experiment_id="abl3",
+        title=(
+            f"ablation: epsilon-randomized vs stigmergic super-conscientious "
+            f"(population {population})"
+        ),
+        paper_claim=(
+            "Minar's added randomness at best makes super equal conscientious; "
+            "stigmergy should do better"
+        ),
+        columns=["variant", "mean finish", "finish time", "finished runs"],
+    )
+    for name in variants:
+        _finishing_row(report, outcomes[name])
+    reference = outcomes["conscientious (reference)"].finishing_summary.mean
+    plain = outcomes["super eps=0.0"].finishing_summary.mean
+    best_eps = min(
+        outcomes[name].finishing_summary.mean
+        for name in ("super eps=0.1", "super eps=0.3")
+    )
+    stig = outcomes["super stigmergic"].finishing_summary.mean
+    report.add_note(
+        f"gap to conscientious: plain {plain - reference:+.0f}, best-epsilon "
+        f"{best_eps - reference:+.0f}, stigmergic {stig - reference:+.0f} steps"
+    )
+    return report
+
+
+def abl4(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Ablation: per-decision overhead of stigmergy (the 'negligible' claim)."""
+    variants = {
+        "conscientious (plain)": _world(
+            "conscientious", scale.team_population, False, scale
+        ),
+        "conscientious (stigmergic)": _world(
+            "conscientious", scale.team_population, True, scale
+        ),
+    }
+    outcomes = run_mapping_variants(
+        scale.mapping_generator_config(), variants, scale.runs, master_seed, progress
+    )
+    report = ExperimentReport(
+        experiment_id="abl4",
+        title="ablation: per-decision overhead, plain vs stigmergic team",
+        paper_claim=(
+            "stigmergic communication 'imposes negligible overhead on the "
+            "system complexity' (§I)"
+        ),
+        columns=[
+            "variant",
+            "candidates/decision",
+            "board lookups/decision",
+            "stamps/decision",
+            "mean finish",
+        ],
+    )
+    means = {}
+    for name, outcome in outcomes.items():
+        keys = ("candidates_examined", "footprint_lookups", "footprints_stamped")
+        averaged = {
+            key: sum(r.overhead.get(key, 0.0) for r in outcome.results)
+            / len(outcome.results)
+            for key in keys
+        }
+        means[name] = averaged
+        report.add_row(
+            name,
+            f"{averaged['candidates_examined']:.2f}",
+            f"{averaged['footprint_lookups']:.2f}",
+            f"{averaged['footprints_stamped']:.2f}",
+            f"{outcome.finishing_summary.mean:.0f}",
+        )
+    plain = means["conscientious (plain)"]["candidates_examined"]
+    stig = means["conscientious (stigmergic)"]["candidates_examined"]
+    extra = (
+        means["conscientious (stigmergic)"]["footprint_lookups"]
+        + means["conscientious (stigmergic)"]["footprints_stamped"]
+    )
+    report.add_note(
+        f"stigmergy adds {extra:.2f} O(1)-ish board operations per decision on "
+        f"top of {plain:.2f} candidate comparisons (stigmergic examines "
+        f"{stig:.2f})"
+    )
+    return report
+
+
+def abl5(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Ablation: do the headline team orderings hold across networks?
+
+    The paper ran everything on one unpublished 300-node network, and so
+    (per master seed) does this reproduction.  Here the fig3/fig4/fig6
+    comparison is repeated on several independently generated networks —
+    if the orderings flipped between networks, the single-network
+    substitution would be unsound.
+    """
+    network_count = 5
+    runs_per_network = max(2, scale.runs // 4)
+    report = ExperimentReport(
+        experiment_id="abl5",
+        title="ablation: headline orderings across independently generated networks",
+        paper_claim="(robustness of the single-network substitution, not a paper figure)",
+        columns=[
+            "network",
+            "conscientious",
+            "stigmergic conscientious",
+            "stigmergic super",
+            "stigmergy helps",
+            "super wins (stig)",
+        ],
+    )
+    population = scale.team_population
+    variants = {
+        "consc": _world("conscientious", population, False, scale),
+        "consc-stig": _world("conscientious", population, True, scale),
+        "super-stig": _world("super-conscientious", population, True, scale),
+    }
+    helped = 0
+    super_won = 0
+    for network_index in range(network_count):
+        seed = derive_seed(master_seed, f"abl5-network:{network_index}")
+        outcomes = run_mapping_variants(
+            scale.mapping_generator_config(),
+            variants,
+            runs_per_network,
+            seed,
+            progress,
+        )
+        consc = outcomes["consc"].finishing_summary.mean
+        consc_stig = outcomes["consc-stig"].finishing_summary.mean
+        super_stig = outcomes["super-stig"].finishing_summary.mean
+        stig_helps = consc_stig <= consc * 1.05
+        super_wins = super_stig <= consc_stig * 1.05
+        helped += stig_helps
+        super_won += super_wins
+        report.add_row(
+            network_index,
+            f"{consc:.0f}",
+            f"{consc_stig:.0f}",
+            f"{super_stig:.0f}",
+            "yes" if stig_helps else "no",
+            "yes" if super_wins else "no",
+        )
+    report.add_note(
+        f"stigmergy helps (or ties) on {helped}/{network_count} networks; "
+        f"stigmergic super wins (or ties) on {super_won}/{network_count}"
+    )
+    return report

@@ -1,0 +1,102 @@
+"""Saving and loading experiment reports.
+
+Reports serialize to plain JSON so paper-scale results can be archived,
+diffed across library versions, and re-rendered without re-running the
+(minutes-long) simulations.  The CLI exposes this via
+``repro run figN --json-dir DIR --svg-dir DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.analysis.series import TimeSeries
+from repro.analysis.svg_plot import svg_plot
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report", "save_svg"]
+
+#: bumped when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """The JSON-safe dictionary form of a report."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "paper_claim": report.paper_claim,
+        "columns": list(report.columns),
+        "rows": [list(row) for row in report.rows],
+        "series": {
+            name: {"times": list(series.times), "values": list(series.values)}
+            for name, series in report.series.items()
+        },
+        "notes": list(report.notes),
+        "y_label": report.y_label,
+    }
+
+
+def report_from_dict(payload: dict) -> ExperimentReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported report schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    report = ExperimentReport(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        paper_claim=payload["paper_claim"],
+        columns=list(payload.get("columns", [])),
+        rows=[list(row) for row in payload.get("rows", [])],
+        notes=list(payload.get("notes", [])),
+        y_label=payload.get("y_label", ""),
+    )
+    for name, series in payload.get("series", {}).items():
+        report.series[name] = TimeSeries(
+            list(series["times"]), [float(v) for v in series["values"]]
+        )
+    return report
+
+
+def save_report(report: ExperimentReport, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``<experiment_id>.json`` under ``directory``; returns the path."""
+    target_dir = pathlib.Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{report.experiment_id}.json"
+    path.write_text(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+    return path
+
+
+def load_report(path: Union[str, pathlib.Path]) -> ExperimentReport:
+    """Load a report previously written by :func:`save_report`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot load report from {path}: {error}") from None
+    return report_from_dict(payload)
+
+
+def save_svg(report: ExperimentReport, directory: Union[str, pathlib.Path]) -> Union[pathlib.Path, None]:
+    """Write ``<experiment_id>.svg`` if the report has curves.
+
+    Returns the written path, or ``None`` for table-only reports.
+    """
+    if not report.series:
+        return None
+    target_dir = pathlib.Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{report.experiment_id}.svg"
+    path.write_text(
+        svg_plot(
+            report.series,
+            title=f"{report.experiment_id}: {report.title}",
+            y_label=report.y_label,
+        )
+    )
+    return path

@@ -1,0 +1,88 @@
+"""Rendering experiment outcomes as text reports.
+
+An :class:`ExperimentReport` is what every registered experiment
+returns: a table of headline numbers (one row per variant), optional
+time-series for the figure's curves, and free-form notes comparing the
+measured shape against the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.ascii_plot import ascii_plot, ascii_series_table
+from repro.analysis.series import TimeSeries
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """The rendered outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[List[str]] = field(default_factory=list)
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    y_label: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        """Append a table row (cells are str()-ified)."""
+        self.rows.append([str(cell) for cell in cells])
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation."""
+        self.notes.append(note)
+
+    def table_text(self) -> str:
+        """The headline table as aligned text."""
+        if not self.columns:
+            return ""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render(self, plots: bool = True, width: int = 72) -> str:
+        """The full report: header, claim, table, curves, notes."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+        ]
+        table = self.table_text()
+        if table:
+            parts.extend([table, ""])
+        if self.series:
+            if plots:
+                parts.append(
+                    ascii_plot(
+                        self.series,
+                        width=width,
+                        title=f"{self.experiment_id} curves",
+                        y_label=self.y_label,
+                    )
+                )
+                parts.append("")
+            parts.append(ascii_series_table(self.series))
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts).rstrip() + "\n"
+
+    def series_samples(self, times: Sequence[int]) -> Optional[str]:
+        """The numeric series table at specific times (or ``None``)."""
+        if not self.series:
+            return None
+        return ascii_series_table(self.series, sample_times=times)

@@ -1,0 +1,279 @@
+"""Multi-run experiment execution.
+
+Runs a dictionary of named *variants* (agent/protocol configurations)
+over ``runs`` seeded repetitions, reproducing the paper's randomness
+model exactly: **one network per experiment** — "we chose a single
+connected network … for all experiments" (mapping, §II-B.1) and "all of
+our experiments were performed with the same configuration and movement
+path of nodes" (routing, §III-A) — with only the agents' initial
+placement and tie-breaking redrawn per repetition.  The shared network
+is derived from the master seed, so a different master seed yields a
+different (but again shared) network; results are aggregated with
+:mod:`repro.analysis.stats`.
+
+Static mapping topologies are cached per ``(generator config, seed)``
+because they are immutable during default runs and expensive to
+generate; MANETs mutate every step, so they are regenerated per variant
+and repetition from the same seed (which reproduces the identical
+placement and movement paths).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.series import TimeSeries, average_series
+from repro.analysis.stats import RunSummary, summarize
+from repro.errors import ConfigurationError
+from repro.experiments.config import DEFAULT_MASTER_SEED
+from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig
+from repro.net.generator import GeneratorConfig, NetworkGenerator
+from repro.net.topology import Topology
+from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
+from repro.rng import derive_seed
+
+__all__ = [
+    "MappingVariantResult",
+    "RoutingVariantResult",
+    "run_mapping_variants",
+    "run_routing_variants",
+    "clear_topology_cache",
+]
+
+_topology_cache: Dict = {}
+
+
+def clear_topology_cache() -> None:
+    """Drop all cached static topologies (tests use this)."""
+    _topology_cache.clear()
+
+
+def _static_topology(config: GeneratorConfig, seed: int, reusable: bool) -> Topology:
+    """A static mapping network, cached when it will not be mutated."""
+    if not reusable:
+        return NetworkGenerator(config, seed).generate_static()
+    key = (config, seed)
+    topology = _topology_cache.get(key)
+    if topology is None:
+        topology = NetworkGenerator(config, seed).generate_static()
+        _topology_cache[key] = topology
+    return topology
+
+
+@dataclass
+class MappingVariantResult:
+    """Aggregated mapping outcomes of one variant over all runs."""
+
+    name: str
+    finishing_times: List[Optional[int]] = field(default_factory=list)
+    results: List[MappingResult] = field(default_factory=list)
+
+    @property
+    def finished_runs(self) -> int:
+        """How many runs reached perfect knowledge within max_steps."""
+        return sum(1 for t in self.finishing_times if t is not None)
+
+    @property
+    def finishing_summary(self) -> RunSummary:
+        """Summary of finishing times over *finished* runs.
+
+        Unfinished runs are counted at their step budget — a conservative
+        lower bound that keeps slow variants comparable instead of
+        silently dropping their worst runs.
+        """
+        values = [
+            float(t) if t is not None else float(r.steps_simulated)
+            for t, r in zip(self.finishing_times, self.results)
+        ]
+        return summarize(values)
+
+    def average_knowledge_series(self) -> TimeSeries:
+        """Mean team-average-knowledge curve across runs."""
+        return average_series(
+            [TimeSeries(r.times, r.average_knowledge) for r in self.results]
+        )
+
+
+@dataclass
+class RoutingVariantResult:
+    """Aggregated routing outcomes of one variant over all runs."""
+
+    name: str
+    results: List[RoutingResult] = field(default_factory=list)
+
+    @property
+    def connectivity_summary(self) -> RunSummary:
+        """Summary of per-run converged mean connectivity."""
+        return summarize([r.mean_connectivity for r in self.results])
+
+    @property
+    def stability_summary(self) -> RunSummary:
+        """Summary of per-run connectivity standard deviation."""
+        return summarize([r.connectivity_stability for r in self.results])
+
+    def connectivity_series(self) -> TimeSeries:
+        """Mean connectivity-over-time curve across runs."""
+        return average_series(
+            [TimeSeries(r.times, r.connectivity) for r in self.results]
+        )
+
+
+ProgressCallback = Callable[[str, int, int], None]
+
+
+#: process-pool size used when a call does not pass ``workers`` —
+#: set by the CLI's ``--workers`` flag via :func:`set_default_workers`.
+_default_workers = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the pool size used by runs that do not pass ``workers``."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    global _default_workers
+    _default_workers = workers
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        workers = _default_workers
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    # Cap at the machine's core count, but never below 2 so the pool code
+    # path stays reachable (and testable) on single-core machines.
+    return min(workers, max(2, multiprocessing.cpu_count()))
+
+
+def _mapping_task(
+    task: Tuple[str, GeneratorConfig, MappingWorldConfig, int, int, int]
+) -> Tuple[str, int, MappingResult]:
+    """One (variant, run) mapping execution — top-level for pickling."""
+    name, generator_config, world_config, network_seed, world_seed, run_index = task
+    reusable = world_config.degrade_at is None
+    topology = _static_topology(generator_config, network_seed, reusable)
+    result = MappingWorld(topology, world_config, world_seed).run()
+    return name, run_index, result
+
+
+def _routing_task(
+    task: Tuple[str, GeneratorConfig, RoutingWorldConfig, int, int, int]
+) -> Tuple[str, int, RoutingResult]:
+    """One (variant, run) routing execution — top-level for pickling."""
+    name, generator_config, world_config, network_seed, world_seed, run_index = task
+    topology = NetworkGenerator(generator_config, network_seed).generate_manet()
+    result = RoutingWorld(topology, world_config, world_seed).run()
+    return name, run_index, result
+
+
+def _run_tasks(tasks, task_fn, workers, progress, scenario):
+    """Execute tasks serially or in a pool; yield completed triples.
+
+    Results are collected unordered from the pool and re-sorted by the
+    caller, so parallel runs are bit-identical to serial ones.
+    """
+    completed = 0
+    total = len(tasks)
+    if workers <= 1:
+        for task in tasks:
+            yield task_fn(task)
+            completed += 1
+            if progress is not None:
+                progress(scenario, completed, total)
+        return
+    with multiprocessing.Pool(workers) as pool:
+        for outcome in pool.imap_unordered(task_fn, tasks):
+            yield outcome
+            completed += 1
+            if progress is not None:
+                progress(scenario, completed, total)
+
+
+def run_mapping_variants(
+    generator_config: GeneratorConfig,
+    variants: Dict[str, MappingWorldConfig],
+    runs: int,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, MappingVariantResult]:
+    """Run every mapping variant ``runs`` times on the shared network.
+
+    ``workers > 1`` fans the (variant, run) grid over a process pool;
+    results are identical to a serial run (everything is seed-driven).
+    """
+    network_seed = derive_seed(master_seed, "mapping-net")
+    tasks = [
+        (
+            name,
+            generator_config,
+            world_config,
+            network_seed,
+            derive_seed(master_seed, f"mapping-world:{run_index}"),
+            run_index,
+        )
+        for run_index in range(runs)
+        for name, world_config in variants.items()
+    ]
+    collected: Dict[str, List[Tuple[int, MappingResult]]] = {
+        name: [] for name in variants
+    }
+    pool_size = _resolve_workers(workers)
+    for name, run_index, result in _run_tasks(
+        tasks, _mapping_task, pool_size, progress, "mapping"
+    ):
+        collected[name].append((run_index, result))
+    outcomes = {}
+    for name, pairs in collected.items():
+        pairs.sort(key=lambda pair: pair[0])
+        outcome = MappingVariantResult(name)
+        for __, result in pairs:
+            outcome.finishing_times.append(result.finishing_time)
+            outcome.results.append(result)
+        outcomes[name] = outcome
+    return outcomes
+
+
+def run_routing_variants(
+    generator_config: GeneratorConfig,
+    variants: Dict[str, RoutingWorldConfig],
+    runs: int,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, RoutingVariantResult]:
+    """Run every routing variant ``runs`` times on the shared MANET.
+
+    MANETs mutate as they run; rebuilding from the same seed reproduces
+    the identical placement and movement paths in every variant, run and
+    worker process.
+    """
+    network_seed = derive_seed(master_seed, "routing-net")
+    tasks = [
+        (
+            name,
+            generator_config,
+            world_config,
+            network_seed,
+            derive_seed(master_seed, f"routing-world:{run_index}"),
+            run_index,
+        )
+        for run_index in range(runs)
+        for name, world_config in variants.items()
+    ]
+    collected: Dict[str, List[Tuple[int, RoutingResult]]] = {
+        name: [] for name in variants
+    }
+    pool_size = _resolve_workers(workers)
+    for name, run_index, result in _run_tasks(
+        tasks, _routing_task, pool_size, progress, "routing"
+    ):
+        collected[name].append((run_index, result))
+    outcomes = {}
+    for name, pairs in collected.items():
+        pairs.sort(key=lambda pair: pair[0])
+        outcome = RoutingVariantResult(name)
+        outcome.results.extend(result for __, result in pairs)
+        outcomes[name] = outcome
+    return outcomes

@@ -1,0 +1,12 @@
+"""The network-mapping scenario (paper §II)."""
+
+from repro.mapping.metrics import KnowledgeTracker
+from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig, run_mapping
+
+__all__ = [
+    "MappingWorld",
+    "MappingWorldConfig",
+    "MappingResult",
+    "KnowledgeTracker",
+    "run_mapping",
+]

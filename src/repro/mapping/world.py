@@ -1,0 +1,226 @@
+"""The mapping world: network + agents + engine, wired per the paper.
+
+Each simulated step (§II-B.1) every agent, in id order:
+
+1. learns the out-edges of the node it stands on (first-hand),
+2. learns everything co-located agents know (second-hand),
+3. chooses its next node,
+4. leaves a footprint if stigmergic,
+
+then all moves commit *simultaneously* — the iteration order of agents
+within a step can never leak information.  The run stops at the first
+step where every agent knows every directed edge (the finishing time) or
+at ``max_steps``.
+
+Optional mid-run link degradation (§II-A's "degradation on a percentage
+of radio links") is modelled by scheduling an event that degrades a
+sample of node radios and recomputes the topology; after the event the
+*current* edge set is what agents must learn, so earlier knowledge of
+vanished edges does not block finishing (knowledge is measured against
+the live topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.comms import exchange_mapping_knowledge
+from repro.core.mapping_agents import MappingAgent, make_mapping_agent
+from repro.core.overhead import aggregate_overheads
+from repro.core.stigmergy import StigmergyField
+from repro.errors import ConfigurationError
+from repro.mapping.metrics import KnowledgeTracker
+from repro.net.radio import HeterogeneousRange
+from repro.net.topology import Topology
+from repro.rng import SeedSpawner
+from repro.sim.engine import StopSimulation, TimeStepEngine
+from repro.types import NodeId, Time
+
+__all__ = ["MappingWorldConfig", "MappingResult", "MappingWorld"]
+
+
+@dataclass(frozen=True)
+class MappingWorldConfig:
+    """Agent-team and protocol parameters for one mapping run."""
+
+    agent_kind: str = "conscientious"
+    population: int = 1
+    stigmergic: bool = False
+    #: probability of a uniformly random move (Minar's dispersal fix).
+    epsilon: float = 0.0
+    cooperation: bool = True
+    footprint_capacity: int = 16
+    # Marks repel for a short window only: a footprint says "someone just
+    # went that way", not "that node is claimed forever".  Permanent marks
+    # measurably wall off the last unexplored nodes and stall teams (see
+    # the abl1 ablation); 10 steps reproduced the paper's team speed-ups.
+    footprint_freshness: Optional[int] = 10
+    max_steps: int = 50_000
+    degrade_at: Optional[Time] = None
+    degrade_fraction: float = 0.1
+    degrade_amount: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigurationError(f"population must be >= 1, got {self.population}")
+        if self.max_steps < 1:
+            raise ConfigurationError(f"max_steps must be >= 1, got {self.max_steps}")
+        if not 0.0 <= self.degrade_fraction <= 1.0:
+            raise ConfigurationError(
+                f"degrade_fraction must be in [0, 1], got {self.degrade_fraction}"
+            )
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {self.epsilon}")
+
+
+@dataclass
+class MappingResult:
+    """Outcome of one mapping run."""
+
+    finishing_time: Optional[Time]
+    steps_simulated: Time
+    times: List[Time] = field(default_factory=list)
+    average_knowledge: List[float] = field(default_factory=list)
+    minimum_knowledge: List[float] = field(default_factory=list)
+    meetings: int = 0
+    overhead: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """Whether every agent reached a perfect map."""
+        return self.finishing_time is not None
+
+
+class MappingWorld:
+    """One seeded mapping simulation."""
+
+    def __init__(self, topology: Topology, config: MappingWorldConfig, seed: int) -> None:
+        self.topology = topology
+        self.config = config
+        self._spawner = SeedSpawner(seed).child("mapping")
+        self.engine = TimeStepEngine()
+        self.field = StigmergyField(
+            capacity=config.footprint_capacity,
+            freshness=config.footprint_freshness,
+        )
+        self.agents: List[MappingAgent] = self._spawn_agents()
+        self.tracker = KnowledgeTracker(topology.edge_count)
+        # Once the topology can mutate mid-run, completeness has to be
+        # checked against the live edge set, not a simple count.
+        self._live_edges = (
+            topology.edge_set() if config.degrade_at is not None else None
+        )
+        self.meetings = 0
+        self.engine.add_process(self._step)
+        if config.degrade_at is not None:
+            self.engine.schedule_at(
+                config.degrade_at, self._apply_degradation, label="degrade-links"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _spawn_agents(self) -> List[MappingAgent]:
+        placement_rng = self._spawner.stream("placement")
+        node_ids = list(self.topology.node_ids)
+        agents = []
+        for agent_id in range(self.config.population):
+            start = placement_rng.choice(node_ids)
+            agent_rng = self._spawner.stream(f"agent:{agent_id}")
+            agents.append(
+                make_mapping_agent(
+                    self.config.agent_kind,
+                    agent_id,
+                    start,
+                    agent_rng,
+                    stigmergic=self.config.stigmergic,
+                    epsilon=self.config.epsilon,
+                )
+            )
+        return agents
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def _apply_degradation(self) -> None:
+        """Degrade a sample of node radios and refresh the topology."""
+        config = self.config
+        rng = self._spawner.stream("degradation")
+        count = int(round(config.degrade_fraction * self.topology.node_count))
+        victims = rng.sample(list(self.topology.node_ids), count)
+        for node_id in victims:
+            radio = self.topology.node(node_id).radio
+            if isinstance(radio, HeterogeneousRange):
+                radio.degrade(config.degrade_amount)
+        self.topology.invalidate()
+        # The map to learn changed; re-baseline the tracker target and
+        # refresh the live edge set completeness is measured against.
+        self.tracker.total_edges = self.topology.edge_count
+        self._live_edges = self.topology.edge_set()
+
+    def _step(self, now: Time) -> None:
+        agents = self.agents
+        topology = self.topology
+        # Phase 1: first-hand observation.
+        neighbor_cache: Dict[NodeId, Sequence[NodeId]] = {}
+        for agent in agents:
+            neighbors = neighbor_cache.get(agent.location)
+            if neighbors is None:
+                neighbors = sorted(topology.out_neighbors(agent.location))
+                neighbor_cache[agent.location] = neighbors
+            agent.observe(neighbors, now)
+        # Phase 2: meetings.
+        if self.config.cooperation and len(agents) > 1:
+            self.meetings += exchange_mapping_knowledge(agents)
+        # Phases 3 & 4: choose, footprint; moves commit afterwards.
+        moves: List[Tuple[MappingAgent, NodeId]] = []
+        for agent in agents:
+            target = agent.choose_next(
+                neighbor_cache[agent.location], now, field=self.field
+            )
+            if target is None:
+                continue
+            agent.leave_footprint(target, now, self.field)
+            moves.append((agent, target))
+        for agent, target in moves:
+            agent.move_to(target)
+            self.engine.hooks.fire(
+                "agent_moved", time=now, agent=agent.agent_id, to=target
+            )
+        finished = self.tracker.record(now, agents, live_edges=self._live_edges)
+        self.engine.hooks.fire(
+            "knowledge_recorded",
+            time=now,
+            average=self.tracker.average_knowledge[-1],
+            minimum=self.tracker.minimum_knowledge[-1],
+        )
+        if finished:
+            raise StopSimulation("perfect-knowledge")
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self) -> MappingResult:
+        """Run to finishing time or ``max_steps``; return the result."""
+        steps = self.engine.run(self.config.max_steps)
+        team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
+        return MappingResult(
+            finishing_time=self.tracker.finishing_time,
+            steps_simulated=steps,
+            times=list(self.tracker.times),
+            average_knowledge=list(self.tracker.average_knowledge),
+            minimum_knowledge=list(self.tracker.minimum_knowledge),
+            meetings=self.meetings,
+            overhead=team_overhead.per_decision(),
+        )
+
+
+def run_mapping(
+    topology: Topology, config: MappingWorldConfig, seed: int
+) -> MappingResult:
+    """Convenience: build a world and run it."""
+    return MappingWorld(topology, config, seed).run()

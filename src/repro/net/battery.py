@@ -1,0 +1,86 @@
+"""Battery model.
+
+The paper assumes mobile nodes "run on battery power … their power will
+decrease during the experiment and as a result their radio range
+decreases as time goes by" (§III-A).  A :class:`Battery` holds a charge
+level in ``[0, 1]`` and a drain model describing how the level decays per
+simulation step.  The radio layer couples range to the current level via
+:class:`~repro.net.radio.BatteryCoupledRange`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DrainModel", "NoDrain", "LinearDrain", "ExponentialDrain", "Battery"]
+
+
+class DrainModel(Protocol):
+    """Strategy describing per-step battery decay."""
+
+    def drain(self, level: float) -> float:
+        """Return the new level given the current ``level`` (both in [0,1])."""
+        ...
+
+
+class NoDrain:
+    """Mains-powered: the level never changes (gateways, static nodes)."""
+
+    def drain(self, level: float) -> float:
+        return level
+
+
+class LinearDrain:
+    """Loses a fixed amount of charge per step."""
+
+    def __init__(self, per_step: float) -> None:
+        if per_step < 0:
+            raise ConfigurationError(f"drain per step must be >= 0, got {per_step}")
+        self.per_step = per_step
+
+    def drain(self, level: float) -> float:
+        return max(0.0, level - self.per_step)
+
+
+class ExponentialDrain:
+    """Loses a fixed *fraction* of the remaining charge per step."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"drain rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._keep = 1.0 - rate
+
+    def drain(self, level: float) -> float:
+        return level * self._keep
+
+
+class Battery:
+    """A node's energy store: a level in ``[0, 1]`` plus a drain model."""
+
+    def __init__(self, drain_model: DrainModel, level: float = 1.0) -> None:
+        if not 0.0 <= level <= 1.0:
+            raise ConfigurationError(f"battery level must be in [0, 1], got {level}")
+        self._drain_model = drain_model
+        self._level = level
+
+    @property
+    def level(self) -> float:
+        """Current charge fraction in ``[0, 1]``."""
+        return self._level
+
+    @property
+    def depleted(self) -> bool:
+        """Whether the battery is (numerically) empty."""
+        return math.isclose(self._level, 0.0, abs_tol=1e-12) or self._level <= 0.0
+
+    def step(self) -> float:
+        """Apply one step of drain; return the new level."""
+        self._level = min(1.0, max(0.0, self._drain_model.drain(self._level)))
+        return self._level
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Battery(level={self._level:.3f})"

@@ -1,0 +1,66 @@
+"""2D geometry primitives: points and the bounded arena nodes live in."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Point", "Arena"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2D position."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_squared_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt in hot loops)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Arena:
+    """The rectangular region ``[0, width] x [0, height]`` nodes occupy."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"arena dimensions must be positive, got {self.width}x{self.height}"
+            )
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the arena (boundary inclusive)."""
+        return 0.0 <= point.x <= self.width and 0.0 <= point.y <= self.height
+
+    def random_point(self, rng: random.Random) -> Point:
+        """A uniformly random point inside the arena."""
+        return Point(rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+
+    def clamp(self, point: Point) -> Point:
+        """The nearest point inside the arena."""
+        return Point(
+            min(max(point.x, 0.0), self.width),
+            min(max(point.y, 0.0), self.height),
+        )
+
+    def diagonal(self) -> float:
+        """Length of the arena diagonal — an upper bound on any distance."""
+        return math.hypot(self.width, self.height)

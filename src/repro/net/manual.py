@@ -1,0 +1,94 @@
+"""Hand-specified topologies.
+
+Most of the library derives links from geometry, but tests, examples and
+downstream experiments often want an *exact* graph ("a ring of five
+nodes", "this 2-SCC digraph").  :class:`FixedTopology` is a
+:class:`~repro.net.topology.Topology` whose adjacency is pinned to a
+given edge set: nodes are laid out on a circle for display purposes, and
+``recompute`` restores the pinned adjacency instead of deriving it, so
+motion and battery events can never change the links.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.errors import TopologyError
+from repro.net.geometry import Arena, Point
+from repro.net.node import Node
+from repro.net.radio import FixedRange
+from repro.types import Edge, NodeId
+
+__all__ = ["FixedTopology", "fixed_topology"]
+
+
+class FixedTopology:
+    """Builds a :class:`Topology` with a pinned adjacency."""
+
+    def __new__(
+        cls,
+        node_count: int,
+        edges: Iterable[Edge],
+        gateways: Sequence[NodeId] = (),
+        arena: Optional[Arena] = None,
+    ):
+        return fixed_topology(node_count, edges, gateways, arena)
+
+
+def fixed_topology(
+    node_count: int,
+    edges: Iterable[Edge],
+    gateways: Sequence[NodeId] = (),
+    arena: Optional[Arena] = None,
+):
+    """A topology with exactly the given directed ``edges``.
+
+    Nodes are numbered ``0..node_count-1`` and placed evenly on a circle.
+    ``gateways`` marks gateway nodes.  Edges referring to unknown nodes
+    raise :class:`~repro.errors.TopologyError`.
+    """
+    from repro.net.topology import Topology
+
+    if node_count < 1:
+        raise TopologyError(f"node_count must be >= 1, got {node_count}")
+    pinned: Dict[NodeId, Set[NodeId]] = {n: set() for n in range(node_count)}
+    for source, destination in edges:
+        if source not in pinned or destination not in pinned:
+            raise TopologyError(
+                f"edge ({source}, {destination}) refers to a node outside "
+                f"0..{node_count - 1}"
+            )
+        if source == destination:
+            raise TopologyError(f"self-loop ({source}, {destination}) not allowed")
+        pinned[source].add(destination)
+
+    arena = arena if arena is not None else Arena(100.0, 100.0)
+    gateway_set = set(gateways)
+    radius = min(arena.width, arena.height) * 0.4
+    center = Point(arena.width / 2.0, arena.height / 2.0)
+    nodes = []
+    for node_id in range(node_count):
+        angle = 2.0 * math.pi * node_id / node_count
+        position = Point(
+            center.x + radius * math.cos(angle),
+            center.y + radius * math.sin(angle),
+        )
+        nodes.append(
+            Node(
+                node_id,
+                position,
+                FixedRange(1.0),
+                is_gateway=node_id in gateway_set,
+            )
+        )
+
+    topology = Topology(nodes, arena)
+
+    def recompute() -> None:
+        topology._adjacency = {n: set(s) for n, s in pinned.items()}
+        topology._dirty = False
+
+    topology.recompute = recompute  # type: ignore[method-assign]
+    topology.recompute()
+    return topology

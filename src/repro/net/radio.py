@@ -1,0 +1,112 @@
+"""Radio range models.
+
+The effective radio range of a node determines which other nodes can hear
+it: there is a directed link ``u -> v`` iff ``dist(u, v) <= range(u)``.
+
+Three models cover the paper's environments:
+
+* :class:`FixedRange` — Minar's original assumption: every node has the
+  same constant range, so links are symmetric and the topology graph is
+  effectively undirected.
+* :class:`HeterogeneousRange` — the paper's relaxation: "the radio range
+  of nodes is not always the same, so there might exist a link from node
+  A to node B but not vice versa" (§II-A).  Each node gets its own base
+  range.
+* :class:`BatteryCoupledRange` — the paper's battery effect: the range
+  shrinks with the node's battery level, modelling transmit-power
+  reduction as energy depletes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.errors import ConfigurationError
+from repro.net.battery import Battery
+
+__all__ = ["RadioModel", "FixedRange", "HeterogeneousRange", "BatteryCoupledRange"]
+
+
+class RadioModel(Protocol):
+    """Strategy giving a node's current effective radio range."""
+
+    def current_range(self) -> float:
+        """Effective range in arena units at this instant."""
+        ...
+
+
+class FixedRange:
+    """A constant radio range (Minar-style homogeneous radios)."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ConfigurationError(f"radio range must be positive, got {value}")
+        self._value = value
+
+    def current_range(self) -> float:
+        return self._value
+
+
+class HeterogeneousRange:
+    """A per-node constant range, optionally degraded by a fixed factor.
+
+    ``degradation`` models the paper's "degradation on a percentage of
+    radio links due to reliance on battery power": a degraded node keeps
+    ``1 - degradation`` of its base range.  Degradation may be applied
+    after construction (e.g. by a scheduled event mid-run).
+    """
+
+    def __init__(self, base: float, degradation: float = 0.0) -> None:
+        if base <= 0:
+            raise ConfigurationError(f"radio range must be positive, got {base}")
+        if not 0.0 <= degradation < 1.0:
+            raise ConfigurationError(f"degradation must be in [0, 1), got {degradation}")
+        self.base = base
+        self._degradation = degradation
+
+    @property
+    def degradation(self) -> float:
+        """Current degradation fraction in ``[0, 1)``."""
+        return self._degradation
+
+    def degrade(self, fraction: float) -> None:
+        """Set the degradation fraction (replaces, does not compound)."""
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(f"degradation must be in [0, 1), got {fraction}")
+        self._degradation = fraction
+
+    def current_range(self) -> float:
+        return self.base * (1.0 - self._degradation)
+
+
+class BatteryCoupledRange:
+    """Range proportional to battery level, with an optional floor.
+
+    ``range = max(floor, base * level ** exponent)``.  With the default
+    ``exponent=0.5`` the range decays slower than the battery itself
+    (radio range goes roughly with the square root of transmit power),
+    which keeps the MANET from collapsing unrealistically fast while still
+    producing the paper's "links broken and reformed frequently".
+    """
+
+    def __init__(
+        self,
+        base: float,
+        battery: Battery,
+        exponent: float = 0.5,
+        floor: Optional[float] = None,
+    ) -> None:
+        if base <= 0:
+            raise ConfigurationError(f"radio range must be positive, got {base}")
+        if exponent <= 0:
+            raise ConfigurationError(f"exponent must be positive, got {exponent}")
+        if floor is not None and floor < 0:
+            raise ConfigurationError(f"floor must be >= 0, got {floor}")
+        self.base = base
+        self.battery = battery
+        self.exponent = exponent
+        self.floor = floor if floor is not None else 0.0
+
+    def current_range(self) -> float:
+        scaled = self.base * (self.battery.level**self.exponent)
+        return max(self.floor, scaled)

@@ -1,0 +1,169 @@
+"""The link topology induced by node positions and radio ranges.
+
+There is a directed link ``u -> v`` iff ``v`` lies within ``u``'s current
+radio range.  With Minar-style homogeneous radios this relation is
+symmetric; with the paper's heterogeneous (and battery-shrinking) ranges
+it generally is not, giving the directed graph of §II-A.
+
+:class:`Topology` recomputes the adjacency on demand — the routing world
+recomputes every step as nodes move; the mapping world recomputes only
+when a degradation event fires.  Recomputation uses a uniform spatial
+grid so the cost is near-linear in the number of nodes for realistic
+densities instead of the naive O(n^2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.net.geometry import Arena
+from repro.net.graphutils import Adjacency, edge_count, is_strongly_connected
+from repro.net.node import Node
+from repro.types import Edge, NodeId
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Directed wireless topology over a fixed set of nodes."""
+
+    def __init__(self, nodes: Sequence[Node], arena: Arena) -> None:
+        if not nodes:
+            raise TopologyError("a topology needs at least one node")
+        ids = [node.node_id for node in nodes]
+        if ids != list(range(len(nodes))):
+            raise TopologyError("node ids must be contiguous 0..n-1 in order")
+        self.nodes: List[Node] = list(nodes)
+        self.arena = arena
+        self._adjacency: Adjacency = {node.node_id: set() for node in nodes}
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Recomputation
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Mark the cached adjacency stale (after motion or degradation)."""
+        self._dirty = True
+
+    def recompute(self) -> None:
+        """Rebuild the adjacency from current positions and ranges."""
+        ranges = [node.current_range() for node in self.nodes]
+        positive = [r for r in ranges if r > 0.0]
+        adjacency: Adjacency = {node.node_id: set() for node in self.nodes}
+        if positive:
+            cell = sum(positive) / len(positive)
+            grid: Dict[Tuple[int, int], List[Node]] = defaultdict(list)
+            for node in self.nodes:
+                grid[self._cell_of(node, cell)].append(node)
+            for node, radius in zip(self.nodes, ranges):
+                if radius <= 0.0:
+                    continue
+                successors = adjacency[node.node_id]
+                reach = int(radius / cell) + 1
+                cx, cy = self._cell_of(node, cell)
+                radius_sq = radius * radius
+                for ix in range(cx - reach, cx + reach + 1):
+                    for iy in range(cy - reach, cy + reach + 1):
+                        for other in grid.get((ix, iy), ()):
+                            if other is node:
+                                continue
+                            if (
+                                node.position.distance_squared_to(other.position)
+                                <= radius_sq
+                            ):
+                                successors.add(other.node_id)
+        self._adjacency = adjacency
+        self._dirty = False
+
+    @staticmethod
+    def _cell_of(node: Node, cell: float) -> Tuple[int, int]:
+        return (int(node.position.x / cell), int(node.position.y / cell))
+
+    def _current(self) -> Adjacency:
+        if self._dirty:
+            self.recompute()
+        return self._adjacency
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def node_ids(self) -> range:
+        """All node ids (contiguous)."""
+        return range(len(self.nodes))
+
+    def node(self, node_id: NodeId) -> Node:
+        """The node object with id ``node_id``."""
+        try:
+            return self.nodes[node_id]
+        except IndexError:
+            raise TopologyError(f"no node with id {node_id}") from None
+
+    def out_neighbors(self, node_id: NodeId) -> Set[NodeId]:
+        """Nodes currently reachable in one hop *from* ``node_id``.
+
+        The returned set is the live internal one — treat it as read-only.
+        """
+        adjacency = self._current()
+        if node_id not in adjacency:
+            raise TopologyError(f"no node with id {node_id}")
+        return adjacency[node_id]
+
+    def in_neighbors(self, node_id: NodeId) -> Set[NodeId]:
+        """Nodes that can currently reach ``node_id`` in one hop."""
+        adjacency = self._current()
+        if node_id not in adjacency:
+            raise TopologyError(f"no node with id {node_id}")
+        return {u for u, succs in adjacency.items() if node_id in succs}
+
+    def has_edge(self, source: NodeId, destination: NodeId) -> bool:
+        """Whether the directed link ``source -> destination`` exists now."""
+        return destination in self._current().get(source, ())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate all current directed edges in deterministic order."""
+        adjacency = self._current()
+        for source in sorted(adjacency):
+            for destination in sorted(adjacency[source]):
+                yield (source, destination)
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        """All current directed edges as a frozen set."""
+        return frozenset(self.edges())
+
+    @property
+    def edge_count(self) -> int:
+        """Number of current directed edges."""
+        return edge_count(self._current())
+
+    def adjacency_copy(self) -> Adjacency:
+        """A deep copy of the current adjacency (safe to mutate)."""
+        return {node: set(successors) for node, successors in self._current().items()}
+
+    def is_strongly_connected(self) -> bool:
+        """Whether every node can currently reach every other node."""
+        return is_strongly_connected(self._current())
+
+    @property
+    def gateway_ids(self) -> List[NodeId]:
+        """Ids of gateway nodes, ascending."""
+        return [node.node_id for node in self.nodes if node.is_gateway]
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def advance(self) -> None:
+        """Advance every node one step (battery + motion) and invalidate."""
+        for node in self.nodes:
+            node.advance(self.arena)
+        self.invalidate()

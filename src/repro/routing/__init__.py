@@ -1,0 +1,19 @@
+"""The dynamic-routing scenario (paper §III)."""
+
+from repro.routing.connectivity import connectivity_fraction, walk_to_gateway
+from repro.routing.packets import DeliveryStats, PacketSimulator
+from repro.routing.table import RouteEntry, RoutingTable, TableBank
+from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
+
+__all__ = [
+    "RouteEntry",
+    "RoutingTable",
+    "TableBank",
+    "connectivity_fraction",
+    "walk_to_gateway",
+    "RoutingWorld",
+    "RoutingWorldConfig",
+    "RoutingResult",
+    "PacketSimulator",
+    "DeliveryStats",
+]

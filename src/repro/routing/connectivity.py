@@ -1,0 +1,96 @@
+"""The connectivity metric.
+
+"To measure the connectivity, the fraction of nodes in the system that
+has a valid route to at least one gateway are counted" (§III-C).  A route
+is *valid* only if it works right now: starting from the node we follow
+routing-table next hops, requiring each hop to be a currently existing
+directed link, until a gateway is reached — bounded by a TTL and a
+visited-set so broken or looping chains fail cleanly.
+
+Nodes on a successfully walked path are cached as connected for the rest
+of the step (everything downstream of them reached a gateway), which
+makes the per-step metric near-linear in practice.  Failures are *not*
+cached: a node that failed via one start's preference order might still
+be reached as an intermediate hop of another chain, and correctness wins
+over the small extra work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.net.topology import Topology
+from repro.routing.table import TableBank
+from repro.types import NodeId
+
+__all__ = ["walk_to_gateway", "connectivity_fraction", "connected_nodes"]
+
+#: Default hop budget for a validity walk.
+DEFAULT_WALK_TTL = 64
+
+
+def walk_to_gateway(
+    node: NodeId,
+    topology: Topology,
+    tables: TableBank,
+    walk_ttl: int = DEFAULT_WALK_TTL,
+) -> Optional[List[NodeId]]:
+    """The valid next-hop path from ``node`` to a gateway, or ``None``.
+
+    At each node the most preferred entry whose next hop is a *current*
+    out-neighbour is taken.  The walk fails on a dead end, a cycle, or
+    TTL exhaustion.
+    """
+    path = [node]
+    current = node
+    seen: Set[NodeId] = {node}
+    for __ in range(walk_ttl):
+        if topology.node(current).is_gateway:
+            return path
+        next_hop = _usable_next_hop(current, topology, tables, seen)
+        if next_hop is None:
+            return None
+        path.append(next_hop)
+        seen.add(next_hop)
+        current = next_hop
+    return path if topology.node(current).is_gateway else None
+
+
+def _usable_next_hop(
+    current: NodeId, topology: Topology, tables: TableBank, seen: Set[NodeId]
+) -> Optional[NodeId]:
+    neighbors = topology.out_neighbors(current)
+    for entry in tables.table(current).entries_by_preference():
+        if entry.next_hop in neighbors and entry.next_hop not in seen:
+            return entry.next_hop
+    return None
+
+
+def connected_nodes(
+    topology: Topology,
+    tables: TableBank,
+    walk_ttl: int = DEFAULT_WALK_TTL,
+) -> Set[NodeId]:
+    """Every node with a currently valid route to some gateway.
+
+    Gateways count as connected by definition (they *are* the outside
+    world's attachment points).
+    """
+    connected: Set[NodeId] = set(topology.gateway_ids)
+    for node in topology.node_ids:
+        if node in connected:
+            continue
+        path = walk_to_gateway(node, topology, tables, walk_ttl)
+        if path is not None:
+            # Everyone on the walked path reached the gateway too.
+            connected.update(path)
+    return connected
+
+
+def connectivity_fraction(
+    topology: Topology,
+    tables: TableBank,
+    walk_ttl: int = DEFAULT_WALK_TTL,
+) -> float:
+    """Fraction of nodes currently connected to at least one gateway."""
+    return len(connected_nodes(topology, tables, walk_ttl)) / topology.node_count

@@ -1,0 +1,138 @@
+"""Per-node routing tables.
+
+"Every node has a simple routing table which agents update frequently …
+they put a route to one of the gateways that they have just visited in
+the node's routing table" (§III-A).  A table keeps at most one entry per
+gateway — the best seen so far, where *best* is freshest installation
+time, then fewest hops.  Entries expire after ``ttl`` steps: in a MANET
+a route installed long ago points along links that have likely moved
+away, and expiry is what makes connectivity fluctuate rather than
+saturate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import RoutingError
+from repro.types import NodeId, Time
+
+__all__ = ["RouteEntry", "RoutingTable", "TableBank"]
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One route: toward ``gateway``, leave via ``next_hop``.
+
+    ``gateway_seen_at`` is when the installing agent actually stood on
+    the gateway — the currency of the information.  ``installed_at`` is
+    when the entry was written — the age of the *local* link pointer,
+    which is what TTL expiry keys on.  Ranking routes by installation
+    time instead of gateway currency lets a long, circuitous, stale
+    track displace a short fresh one merely because its carrier arrived
+    later; that measurably inverts the paper's history-size effect.
+    """
+
+    gateway: NodeId
+    next_hop: NodeId
+    hops: int
+    installed_at: Time
+    gateway_seen_at: Time = 0
+
+    def fresher_than(self, other: "RouteEntry") -> bool:
+        """Replacement order: newer gateway sighting, then fewer hops,
+        then newer installation."""
+        if self.gateway_seen_at != other.gateway_seen_at:
+            return self.gateway_seen_at > other.gateway_seen_at
+        if self.hops != other.hops:
+            return self.hops < other.hops
+        return self.installed_at > other.installed_at
+
+
+class RoutingTable:
+    """A node's routes, at most one (the best) per gateway."""
+
+    def __init__(self, ttl: Optional[int] = None) -> None:
+        if ttl is not None and ttl < 1:
+            raise RoutingError(f"ttl must be >= 1 or None, got {ttl}")
+        self.ttl = ttl
+        self._entries: Dict[NodeId, RouteEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def install(self, entry: RouteEntry) -> bool:
+        """Install ``entry`` unless a better route to its gateway exists.
+
+        Returns whether the table changed.
+        """
+        if entry.hops < 1:
+            raise RoutingError(f"a route must be at least 1 hop, got {entry.hops}")
+        current = self._entries.get(entry.gateway)
+        if current is None or entry.fresher_than(current):
+            self._entries[entry.gateway] = entry
+            return True
+        return False
+
+    def expire(self, now: Time) -> int:
+        """Drop entries older than ``ttl``; returns how many were dropped."""
+        if self.ttl is None:
+            return 0
+        horizon = now - self.ttl
+        stale = [g for g, e in self._entries.items() if e.installed_at < horizon]
+        for gateway in stale:
+            del self._entries[gateway]
+        return len(stale)
+
+    def entries_by_preference(self) -> List[RouteEntry]:
+        """All entries, most preferred first.
+
+        Preference mirrors :meth:`RouteEntry.fresher_than`: most recent
+        gateway sighting, then fewest hops.
+        """
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.gateway_seen_at, e.hops, -e.installed_at, e.gateway),
+        )
+
+    def entry_for(self, gateway: NodeId) -> Optional[RouteEntry]:
+        """The current entry toward ``gateway`` (or ``None``)."""
+        return self._entries.get(gateway)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+
+class TableBank:
+    """The routing tables of every node, keyed by node id.
+
+    Nodes run no programs (§III-A), so the tables live here in the
+    substrate — written by agents, read by the connectivity metric and
+    the packet simulator.
+    """
+
+    def __init__(self, node_count: int, ttl: Optional[int] = None) -> None:
+        if node_count < 1:
+            raise RoutingError(f"node_count must be >= 1, got {node_count}")
+        self.ttl = ttl
+        self._tables: List[RoutingTable] = [RoutingTable(ttl) for __ in range(node_count)]
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table(self, node: NodeId) -> RoutingTable:
+        """The routing table of ``node``."""
+        try:
+            return self._tables[node]
+        except IndexError:
+            raise RoutingError(f"no table for node {node}") from None
+
+    def expire_all(self, now: Time) -> int:
+        """Expire stale entries in every table; returns total dropped."""
+        return sum(table.expire(now) for table in self._tables)
+
+    def total_entries(self) -> int:
+        """Total live entries across all tables (diagnostics)."""
+        return sum(len(table) for table in self._tables)

@@ -1,0 +1,238 @@
+"""The dynamic-routing world: MANET + agents + tables + metric.
+
+Each simulated step, in order:
+
+* the substrate advances — batteries drain, mobile nodes move, the link
+  topology is recomputed, stale routing-table entries expire;
+* every agent runs the paper's four phases (§III-C): (1) it looks at the
+  current neighbours and decides where to go, (2) co-located *visiting*
+  agents exchange best routes and histories, (3) it moves, learning the
+  edge it travels, (4) it updates the routing table of the node it now
+  occupies using its gateway tracks;
+* the connectivity fraction is measured and recorded.
+
+Decisions (phase 1) are all taken before any exchange or movement, so
+within a step no agent sees another's same-step action — matching the
+paper's simultaneous time-step semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ant_agents import AntRoutingAgent
+from repro.core.comms import exchange_routing_knowledge
+from repro.core.overhead import aggregate_overheads
+from repro.core.routing_agents import RoutingAgent, make_routing_agent
+from repro.core.stigmergy import StigmergyField
+from repro.errors import ConfigurationError
+from repro.net.topology import Topology
+from repro.routing.connectivity import DEFAULT_WALK_TTL, connectivity_fraction
+from repro.core.pheromone import PheromoneField
+from repro.routing.table import RouteEntry, TableBank
+from repro.rng import SeedSpawner
+from repro.sim.engine import TimeStepEngine
+from repro.types import NodeId, Time
+
+__all__ = ["RoutingWorldConfig", "RoutingResult", "RoutingWorld", "run_routing"]
+
+
+@dataclass(frozen=True)
+class RoutingWorldConfig:
+    """Agent-team and protocol parameters for one routing run."""
+
+    agent_kind: str = "oldest-node"
+    population: int = 100
+    history_size: int = 10
+    visiting: bool = False
+    stigmergic: bool = False
+    footprint_capacity: int = 16
+    footprint_freshness: Optional[int] = 8
+    route_ttl: Optional[int] = 150
+    walk_ttl: int = DEFAULT_WALK_TTL
+    total_steps: int = 300
+    converged_after: Time = 150
+    # --- ant (pheromone) agents only ---------------------------------
+    pheromone_evaporation: float = 0.05
+    ant_follow_probability: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigurationError(f"population must be >= 1, got {self.population}")
+        if self.history_size < 1:
+            raise ConfigurationError(
+                f"history_size must be >= 1, got {self.history_size}"
+            )
+        if self.total_steps < 1:
+            raise ConfigurationError(f"total_steps must be >= 1, got {self.total_steps}")
+        if not 0 <= self.converged_after <= self.total_steps:
+            raise ConfigurationError(
+                "converged_after must lie within the run "
+                f"(0..{self.total_steps}), got {self.converged_after}"
+            )
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one routing run."""
+
+    times: List[Time] = field(default_factory=list)
+    connectivity: List[float] = field(default_factory=list)
+    converged_after: Time = 150
+    meetings: int = 0
+    overhead: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_connectivity(self) -> float:
+        """Paper's performance number: mean connectivity after convergence."""
+        window = [
+            value
+            for time, value in zip(self.times, self.connectivity)
+            if time >= self.converged_after
+        ]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    @property
+    def connectivity_stability(self) -> float:
+        """Standard deviation of connectivity in the converged window.
+
+        The paper reports qualitative "stability"; smaller is steadier.
+        """
+        window = [
+            value
+            for time, value in zip(self.times, self.connectivity)
+            if time >= self.converged_after
+        ]
+        if len(window) < 2:
+            return 0.0
+        mean = sum(window) / len(window)
+        variance = sum((value - mean) ** 2 for value in window) / (len(window) - 1)
+        return variance**0.5
+
+
+class RoutingWorld:
+    """One seeded dynamic-routing simulation."""
+
+    def __init__(self, topology: Topology, config: RoutingWorldConfig, seed: int) -> None:
+        if not topology.gateway_ids:
+            raise ConfigurationError("routing world needs at least one gateway")
+        self.topology = topology
+        self.config = config
+        self._spawner = SeedSpawner(seed).child("routing")
+        self.engine = TimeStepEngine()
+        self.tables = TableBank(topology.node_count, ttl=config.route_ttl)
+        self.field = StigmergyField(
+            capacity=config.footprint_capacity,
+            freshness=config.footprint_freshness,
+        )
+        self._gateways = set(topology.gateway_ids)
+        self.agents: List[RoutingAgent] = self._spawn_agents()
+        self.pheromone: Optional[PheromoneField] = None
+        ants = [agent for agent in self.agents if isinstance(agent, AntRoutingAgent)]
+        if ants:
+            self.pheromone = PheromoneField(
+                evaporation=config.pheromone_evaporation
+            )
+            for ant in ants:
+                ant.pheromone = self.pheromone
+        self.result = RoutingResult(converged_after=config.converged_after)
+        self.engine.add_process(self._step)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _spawn_agents(self) -> List[RoutingAgent]:
+        placement_rng = self._spawner.stream("placement")
+        node_ids = list(self.topology.node_ids)
+        kind_specific = {}
+        if self.config.agent_kind == "ant":
+            kind_specific["follow_probability"] = self.config.ant_follow_probability
+        agents = []
+        for agent_id in range(self.config.population):
+            start = placement_rng.choice(node_ids)
+            agents.append(
+                make_routing_agent(
+                    self.config.agent_kind,
+                    agent_id,
+                    start,
+                    self._spawner.stream(f"agent:{agent_id}"),
+                    history_size=self.config.history_size,
+                    visiting=self.config.visiting,
+                    stigmergic=self.config.stigmergic,
+                    **kind_specific,
+                )
+            )
+            # Starting on a gateway seeds a zero-hop track immediately.
+            if start in self._gateways:
+                agents[-1].stay(0, here_is_gateway=True)
+        return agents
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def _step(self, now: Time) -> None:
+        topology = self.topology
+        config = self.config
+        # Substrate: motion, battery, links, route expiry, evaporation.
+        topology.advance()
+        self.tables.expire_all(now)
+        if self.pheromone is not None:
+            self.pheromone.evaporate()
+        # Phase 1: every agent decides from the *new* neighbourhood.
+        decisions: List[Optional[NodeId]] = [
+            agent.decide(
+                sorted(topology.out_neighbors(agent.location)), now, field=self.field
+            )
+            for agent in self.agents
+        ]
+        # Phase 2: visiting agents exchange knowledge where co-located.
+        if config.visiting:
+            self.result.meetings += exchange_routing_knowledge(self.agents)
+        # Phases 3 & 4: move and install routes.
+        moves: List[Tuple[RoutingAgent, NodeId]] = []
+        for agent, target in zip(self.agents, decisions):
+            if target is None:
+                agent.stay(now, here_is_gateway=agent.location in self._gateways)
+            else:
+                agent.leave_footprint(target, now, self.field)
+                moves.append((agent, target))
+        for agent, target in moves:
+            came_from = agent.move_to(target, now, target in self._gateways)
+            table = self.tables.table(agent.location)
+            for gateway, next_hop, hops, seen_at in agent.installable_routes(came_from):
+                agent.overhead.routes_installed += 1
+                table.install(
+                    RouteEntry(
+                        gateway=gateway,
+                        next_hop=next_hop,
+                        hops=hops,
+                        installed_at=now,
+                        gateway_seen_at=seen_at,
+                    )
+                )
+        # Metric.
+        fraction = connectivity_fraction(topology, self.tables, config.walk_ttl)
+        self.result.times.append(now)
+        self.result.connectivity.append(fraction)
+        self.engine.hooks.fire("connectivity_recorded", time=now, fraction=fraction)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self) -> RoutingResult:
+        """Run the configured number of steps; return the result."""
+        self.engine.run(self.config.total_steps)
+        team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
+        self.result.overhead = team_overhead.per_decision()
+        return self.result
+
+
+def run_routing(topology: Topology, config: RoutingWorldConfig, seed: int) -> RoutingResult:
+    """Convenience: build a world and run it."""
+    return RoutingWorld(topology, config, seed).run()

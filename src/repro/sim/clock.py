@@ -1,0 +1,37 @@
+"""The simulated clock.
+
+Time in both of the paper's scenarios is a non-negative integer number of
+steps.  The clock is deliberately dumb: only the engine advances it, and
+everything else holds a read-only reference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonically advancing integer simulation clock."""
+
+    def __init__(self, start: Time = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now: Time = start
+
+    @property
+    def now(self) -> Time:
+        """Current simulated time in steps."""
+        return self._now
+
+    def advance(self, steps: Time = 1) -> Time:
+        """Advance the clock by ``steps`` (default one) and return the new time."""
+        if steps <= 0:
+            raise SimulationError(f"clock must advance by a positive amount, got {steps}")
+        self._now += steps
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now})"

@@ -1,0 +1,113 @@
+"""The outer time-step loop.
+
+:class:`TimeStepEngine` drives a simulation the way the paper describes:
+time advances in whole steps; at each step any due one-shot events fire
+first (substrate changes such as link degradation), then every registered
+:class:`Process` runs once in registration order.  A process may raise
+:class:`StopSimulation` to end the run early — the mapping scenario stops
+the moment every agent holds a perfect map.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.sim.hooks import HookRegistry
+from repro.types import Time
+
+__all__ = ["Process", "StopSimulation", "TimeStepEngine"]
+
+#: A per-step process: called with the current simulated time.
+Process = Callable[[Time], None]
+
+
+class StopSimulation(Exception):
+    """Raised by a process to terminate the run at the current step.
+
+    This is control flow, not an error, so it derives from ``Exception``
+    directly rather than from :class:`~repro.errors.ReproError`.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class TimeStepEngine:
+    """Time-step loop with an embedded discrete-event calendar.
+
+    Hook points fired (all with ``time=`` keyword):
+
+    * ``step_start`` — after the clock advanced, before events/processes,
+    * ``step_end`` — after every process ran for this step,
+    * ``run_end`` — once, when :meth:`run` returns (``reason=`` keyword).
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.events = EventQueue()
+        self.hooks = HookRegistry()
+        self._processes: List[Process] = []
+        self._running = False
+        self.stop_reason: Optional[str] = None
+
+    def add_process(self, process: Process) -> None:
+        """Register a per-step process; runs each step in registration order."""
+        self._processes.append(process)
+
+    def schedule_at(self, time: Time, action: Callable[[], None], label: str = "") -> None:
+        """Schedule a one-shot event at absolute simulated ``time``."""
+        if time <= self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at time {time}, clock already at {self.clock.now}"
+            )
+        self.events.schedule(time, action, label=label)
+
+    def schedule_in(self, delay: Time, action: Callable[[], None], label: str = "") -> None:
+        """Schedule a one-shot event ``delay`` steps from now (``delay >= 1``)."""
+        self.schedule_at(self.clock.now + delay, action, label=label)
+
+    def step(self) -> Time:
+        """Advance one step: clock, due events, then every process.
+
+        Returns the time that was just simulated.  Propagates
+        :class:`StopSimulation` after recording its reason.
+        """
+        now = self.clock.advance()
+        self.hooks.fire("step_start", time=now)
+        for event in self.events.pop_due(now):
+            event.fire()
+        try:
+            for process in self._processes:
+                process(now)
+        except StopSimulation as stop:
+            self.stop_reason = stop.reason
+            raise
+        self.hooks.fire("step_end", time=now)
+        return now
+
+    def run(self, max_steps: Time) -> Time:
+        """Run up to ``max_steps`` steps; return the last simulated time.
+
+        Stops early when a process raises :class:`StopSimulation`.
+        """
+        if max_steps < 0:
+            raise SimulationError(f"max_steps must be non-negative, got {max_steps}")
+        if self._running:
+            raise SimulationError("engine is not re-entrant")
+        self._running = True
+        self.stop_reason = None
+        last = self.clock.now
+        try:
+            for __ in range(max_steps):
+                last = self.step()
+        except StopSimulation:
+            last = self.clock.now
+        finally:
+            self._running = False
+        reason = self.stop_reason if self.stop_reason is not None else "max_steps"
+        self.hooks.fire("run_end", time=last, reason=reason)
+        return last

@@ -1,0 +1,91 @@
+"""Discrete-event priority queue.
+
+The paper's simulation is time-stepped, but several substrate behaviours
+are most naturally expressed as one-shot events scheduled for a future
+time (a link degrading at step 400, a battery crossing a threshold).
+:class:`EventQueue` is a classic DES calendar: a binary heap of
+``(time, sequence, event)`` where the sequence number makes ordering
+stable for events scheduled at the same time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """A one-shot event: a callback plus bookkeeping metadata."""
+
+    time: Time
+    action: Callable[[], None]
+    label: str = ""
+    sequence: int = field(default=0, compare=False)
+
+    def fire(self) -> None:
+        """Run the event's action."""
+        self.action()
+
+
+class EventQueue:
+    """Stable min-heap calendar of :class:`ScheduledEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Time, int, ScheduledEvent]] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(self, time: Time, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` to fire at simulated ``time``.
+
+        Returns the :class:`ScheduledEvent`, which can later be passed to
+        :meth:`cancel`.
+        """
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        sequence = next(self._counter)
+        event = ScheduledEvent(time=time, action=action, label=label, sequence=sequence)
+        heapq.heappush(self._heap, (time, sequence, event))
+        return event
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (lazy deletion)."""
+        self._cancelled.add(event.sequence)
+
+    def peek_time(self) -> Optional[Time]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        self._discard_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop_due(self, now: Time) -> List[ScheduledEvent]:
+        """Remove and return every pending event with ``time <= now``.
+
+        Events are returned in (time, scheduling-order) order, which makes
+        the engine deterministic for simultaneous events.
+        """
+        due: List[ScheduledEvent] = []
+        while True:
+            self._discard_cancelled_head()
+            if not self._heap or self._heap[0][0] > now:
+                break
+            __, __, event = heapq.heappop(self._heap)
+            due.append(event)
+        return due
+
+    def _discard_cancelled_head(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            __, sequence, __ = heapq.heappop(self._heap)
+            self._cancelled.discard(sequence)

@@ -1,0 +1,42 @@
+"""Observer hooks for simulation instrumentation.
+
+Worlds publish named hook points ("step_start", "step_end", …).  Metrics
+collectors, trace recorders, and tests subscribe without the world knowing
+who is listening.  Callbacks run in subscription order, keeping runs
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List
+
+__all__ = ["HookRegistry"]
+
+HookCallback = Callable[..., None]
+
+
+class HookRegistry:
+    """A tiny synchronous publish/subscribe registry."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[HookCallback]] = defaultdict(list)
+
+    def subscribe(self, hook: str, callback: HookCallback) -> None:
+        """Register ``callback`` to run whenever ``hook`` fires."""
+        self._subscribers[hook].append(callback)
+
+    def unsubscribe(self, hook: str, callback: HookCallback) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        callbacks = self._subscribers.get(hook)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    def fire(self, hook: str, /, **payload: Any) -> None:
+        """Invoke every subscriber of ``hook`` with ``payload`` kwargs."""
+        for callback in self._subscribers.get(hook, ()):
+            callback(**payload)
+
+    def subscriber_count(self, hook: str) -> int:
+        """Number of callbacks currently attached to ``hook``."""
+        return len(self._subscribers.get(hook, ()))

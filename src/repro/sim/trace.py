@@ -1,0 +1,61 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` subscribes to a world's hooks and accumulates
+:class:`TraceEvent` rows.  Tests use it to assert fine-grained behaviour
+(who moved where, when knowledge completed) without reaching into private
+state; examples use it to narrate runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.types import Time
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded trace row."""
+
+    time: Time
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Accumulates trace events, optionally filtered by kind."""
+
+    def __init__(self, kinds: Optional[set] = None, max_events: Optional[int] = None) -> None:
+        self._kinds = set(kinds) if kinds is not None else None
+        self._max_events = max_events
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: Time, kind: str, **payload: Any) -> None:
+        """Append an event if its kind passes the filter and space remains."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self._max_events is not None and len(self._events) >= self._max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(time=time, kind=kind, payload=dict(payload)))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events in order."""
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """Iterate events of one kind, preserving order."""
+        return (event for event in self._events if event.kind == kind)
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

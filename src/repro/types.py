@@ -1,0 +1,25 @@
+"""Shared light-weight types and aliases used across the library.
+
+Keeping these in one tiny module avoids import cycles between the network
+substrate, the agents, and the worlds: everything depends on
+:mod:`repro.types`, and :mod:`repro.types` depends on nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Identifier of a network node.  Nodes are always numbered ``0..n-1``.
+NodeId = int
+
+#: Identifier of a mobile agent.  Agents are numbered ``0..k-1``.
+AgentId = int
+
+#: A directed wireless link ``(source, destination)``.
+Edge = Tuple[NodeId, NodeId]
+
+#: Simulated time, measured in whole time steps.
+Time = int
+
+#: Sentinel used where "never happened" must sort before every real time.
+NEVER: Time = -1

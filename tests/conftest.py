@@ -1,0 +1,85 @@
+"""Shared fixtures: small deterministic networks and worlds."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.generator import GeneratorConfig, NetworkGenerator
+from repro.net.manual import fixed_topology
+
+
+@pytest.fixture
+def rng():
+    """A seeded RNG for tests that need one."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def line5():
+    """A bidirectional 5-node line: 0 - 1 - 2 - 3 - 4."""
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3), (3, 4)):
+        edges.extend([(a, b), (b, a)])
+    return fixed_topology(5, edges)
+
+
+@pytest.fixture
+def ring6():
+    """A bidirectional 6-node ring."""
+    edges = []
+    for a in range(6):
+        b = (a + 1) % 6
+        edges.extend([(a, b), (b, a)])
+    return fixed_topology(6, edges)
+
+
+@pytest.fixture
+def directed_cycle4():
+    """A one-way 4-node cycle 0 -> 1 -> 2 -> 3 -> 0."""
+    return fixed_topology(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+@pytest.fixture
+def star5():
+    """Hub 0 connected bidirectionally to leaves 1..4."""
+    edges = []
+    for leaf in range(1, 5):
+        edges.extend([(0, leaf), (leaf, 0)])
+    return fixed_topology(5, edges)
+
+
+@pytest.fixture
+def gateway_line4():
+    """Line 0 - 1 - 2 - 3 with node 0 a gateway."""
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        edges.extend([(a, b), (b, a)])
+    return fixed_topology(4, edges, gateways=[0])
+
+
+@pytest.fixture
+def small_static_network():
+    """A generated strongly connected ~30-node static network."""
+    config = GeneratorConfig(
+        node_count=30,
+        target_edges=None,
+        range_heterogeneity=0.3,
+        require_strong_connectivity=True,
+    )
+    return NetworkGenerator(config, seed=99).generate_static()
+
+
+@pytest.fixture
+def small_manet():
+    """A generated ~40-node MANET with 3 gateways, half mobile."""
+    config = GeneratorConfig(
+        node_count=40,
+        target_edges=None,
+        range_heterogeneity=0.25,
+        require_strong_connectivity=False,
+        gateway_count=3,
+        mobile_fraction=0.5,
+    )
+    return NetworkGenerator(config, seed=77).generate_manet()

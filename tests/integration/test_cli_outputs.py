@@ -1,0 +1,53 @@
+"""Integration: CLI JSON/SVG outputs round-trip."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.persistence import load_report
+from repro.experiments.runner import clear_topology_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    # Reuse the tiny scale from the experiments test so CLI runs in <1s.
+    from tests.integration.test_experiments_and_cli import TINY
+    import repro.cli as cli_module
+
+    monkeypatch.setattr(cli_module, "QUICK", TINY)
+    clear_topology_cache()
+    yield
+    clear_topology_cache()
+
+
+class TestCliOutputs:
+    def test_json_output_loads_back(self, tmp_path, capsys):
+        json_dir = tmp_path / "json"
+        assert main(
+            ["run", "fig7", "--quiet", "--no-plot", "--json-dir", str(json_dir)]
+        ) == 0
+        path = json_dir / "fig7.json"
+        assert path.exists()
+        report = load_report(path)
+        assert report.experiment_id == "fig7"
+        assert report.rows
+        # The JSON itself is a stable, diffable document.
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+
+    def test_svg_output_written_for_figures_with_curves(self, tmp_path, capsys):
+        svg_dir = tmp_path / "svg"
+        assert main(
+            ["run", "fig7", "--quiet", "--no-plot", "--svg-dir", str(svg_dir)]
+        ) == 0
+        svg = (svg_dir / "fig7.svg").read_text()
+        assert svg.startswith("<svg")
+        assert "<polyline" in svg
+
+    def test_table_only_experiment_writes_no_svg(self, tmp_path, capsys):
+        svg_dir = tmp_path / "svg"
+        assert main(
+            ["run", "fig8", "--quiet", "--no-plot", "--svg-dir", str(svg_dir)]
+        ) == 0
+        assert not (svg_dir / "fig8.svg").exists()

@@ -1,0 +1,65 @@
+"""Integration: every example script runs cleanly as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "perfect map after" in result.stdout
+
+    def test_manet_routing(self):
+        result = run_example("manet_routing.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "mean connectivity" in result.stdout
+        assert "legend" in result.stdout
+
+    def test_packet_delivery(self):
+        result = run_example("packet_delivery.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "connectivity" in result.stdout
+        assert "delivered" in result.stdout
+
+    def test_degradation_remapping(self):
+        result = run_example("degradation_remapping.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "perfect map of the changed network" in result.stdout
+
+    def test_ant_vs_footprints(self):
+        result = run_example("ant_vs_footprints.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "ant pheromone" in result.stdout
+        assert "footprints" in result.stdout
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "manet_routing.py",
+            "packet_delivery.py",
+            "degradation_remapping.py",
+            "ant_vs_footprints.py",
+        ],
+    )
+    def test_examples_deterministic(self, name):
+        first = run_example(name, "5")
+        second = run_example(name, "5")
+        assert first.stdout == second.stdout

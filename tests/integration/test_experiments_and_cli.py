@@ -1,0 +1,83 @@
+"""Integration: every registered experiment runs end-to-end at quick scale,
+and the CLI drives them."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import QUICK, get_experiment, list_experiments
+from repro.experiments.config import Scale
+from repro.experiments.runner import clear_topology_cache
+
+# An even smaller scale than QUICK so running all 14 experiments stays fast.
+TINY = Scale(
+    name="tiny",
+    runs=2,
+    mapping_nodes=25,
+    mapping_target_edges=None,
+    mapping_max_steps=4_000,
+    populations=(1, 4),
+    team_population=4,
+    routing_nodes=30,
+    routing_gateways=3,
+    routing_population=8,
+    routing_steps=40,
+    routing_converged_after=20,
+    routing_populations=(4, 10),
+    history_sizes=(2, 8),
+    default_history=6,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_topology_cache()
+    yield
+    clear_topology_cache()
+
+
+class TestAllExperiments:
+    @pytest.mark.parametrize(
+        "experiment_id", [e.experiment_id for e in list_experiments()]
+    )
+    def test_runs_and_renders(self, experiment_id):
+        experiment = get_experiment(experiment_id)
+        report = experiment.run(TINY, master_seed=42)
+        assert report.experiment_id == experiment_id
+        assert report.rows, "every experiment reports at least one row"
+        text = report.render()
+        assert experiment_id in text
+        assert "paper claim" in text
+
+    def test_reports_are_deterministic(self):
+        first = get_experiment("fig1").run(TINY, master_seed=7).render()
+        clear_topology_cache()
+        second = get_experiment("fig1").run(TINY, master_seed=7).render()
+        assert first == second
+
+    def test_master_seed_changes_results(self):
+        first = get_experiment("fig7").run(TINY, master_seed=1).render()
+        second = get_experiment("fig7").run(TINY, master_seed=2).render()
+        assert first != second
+
+
+class TestProgressCallback:
+    def test_progress_reported_per_run(self):
+        calls = []
+        get_experiment("fig3").run(
+            TINY, master_seed=42, progress=lambda s, d, t: calls.append((s, d, t))
+        )
+        assert calls == [("mapping", 1, 2), ("mapping", 2, 2)]
+
+
+class TestCli:
+    def test_cli_quick_run(self, capsys, monkeypatch):
+        # Patch QUICK usage by running the tiniest real experiment id at
+        # quick scale would be slow; fig1 at QUICK is the fastest mapping
+        # experiment and completes in seconds.
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module, "QUICK", TINY)
+        assert main(["run", "fig1", "--quiet", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "scale=tiny" in out

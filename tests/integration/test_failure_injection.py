@@ -1,0 +1,117 @@
+"""Integration: degraded, fragmented, and dying networks stay well-behaved.
+
+The substrate must degrade gracefully — stranded agents wait, dead
+batteries silence radios, fragmented MANETs cap connectivity — and no
+configuration may crash or hang the worlds.
+"""
+
+from repro.mapping.world import MappingWorldConfig, run_mapping
+from repro.net.battery import Battery, LinearDrain
+from repro.net.generator import GeneratorConfig, NetworkGenerator
+from repro.net.geometry import Arena, Point
+from repro.net.manual import fixed_topology
+from repro.net.node import Node
+from repro.net.radio import BatteryCoupledRange, FixedRange
+from repro.net.topology import Topology
+from repro.routing.world import RoutingWorldConfig, run_routing
+
+
+class TestStrandedAgents:
+    def test_agent_on_sink_node_waits_forever(self):
+        # Node 2 has no out-edges: an agent starting there can never move
+        # and the run must terminate on budget, not hang or crash.
+        topology = fixed_topology(3, [(0, 1), (1, 0), (0, 2), (1, 2)])
+        config = MappingWorldConfig(agent_kind="conscientious", max_steps=50)
+        results = [run_mapping(topology, config, seed) for seed in range(8)]
+        assert all(r.steps_simulated <= 50 for r in results)
+        # Runs whose agent did not start on the sink finish (they only
+        # need to stand on 0, 1 and 2... but 2 is absorbing: once there,
+        # knowledge of 2's (empty) edge set completes the map only if the
+        # rest was seen first).
+        assert any(r.finished for r in results)
+
+    def test_team_with_one_stranded_agent_cannot_finish(self):
+        # Finishing is a team metric: an agent stuck on the sink before
+        # seeing the full map keeps minimum knowledge below 1 forever.
+        topology = fixed_topology(3, [(0, 1), (1, 0), (0, 2), (1, 2)])
+        config = MappingWorldConfig(agent_kind="random", population=6, max_steps=300)
+        result = run_mapping(topology, config, seed=3)
+        assert result.steps_simulated == 300 or result.finished
+
+
+class TestDyingNetwork:
+    def build_dying_manet(self):
+        # All non-gateway radios are battery-coupled with no floor and a
+        # brutal drain: the network goes dark within ~10 steps.
+        arena = Arena(100, 100)
+        nodes = []
+        nodes.append(Node(0, Point(50, 50), FixedRange(40.0), is_gateway=True))
+        for node_id in range(1, 10):
+            battery = Battery(LinearDrain(0.1))
+            nodes.append(
+                Node(
+                    node_id,
+                    Point(20 + 6 * node_id, 50),
+                    BatteryCoupledRange(30.0, battery, floor=0.0),
+                    battery=battery,
+                )
+            )
+        topology = Topology(nodes, arena)
+        topology.recompute()
+        return topology
+
+    def test_connectivity_collapses_to_gateway_fraction(self):
+        topology = self.build_dying_manet()
+        config = RoutingWorldConfig(
+            agent_kind="oldest-node",
+            population=5,
+            total_steps=60,
+            converged_after=30,
+            route_ttl=20,
+        )
+        result = run_routing(topology, config, seed=1)
+        # After total battery death only the gateway itself is connected.
+        assert result.connectivity[-1] == 1 / 10
+
+    def test_agents_survive_total_link_loss(self):
+        topology = self.build_dying_manet()
+        config = RoutingWorldConfig(
+            agent_kind="random", population=8, total_steps=40, converged_after=20
+        )
+        result = run_routing(topology, config, seed=2)
+        assert len(result.connectivity) == 40
+
+
+class TestFragmentedManet:
+    def test_unreachable_island_never_counts(self):
+        # Two 3-node islands; only one contains the gateway.
+        edges = []
+        for a, b in ((0, 1), (1, 2)):
+            edges.extend([(a, b), (b, a)])
+        for a, b in ((3, 4), (4, 5)):
+            edges.extend([(a, b), (b, a)])
+        topology = fixed_topology(6, edges, gateways=[0])
+        config = RoutingWorldConfig(
+            agent_kind="oldest-node", population=6, total_steps=80, converged_after=40
+        )
+        result = run_routing(topology, config, seed=3)
+        assert max(result.connectivity) <= 0.5
+
+    def test_degradation_cannot_crash_mapping(self):
+        config = GeneratorConfig(
+            node_count=30,
+            target_edges=None,
+            require_strong_connectivity=True,
+        )
+        topology = NetworkGenerator(config, 50).generate_static()
+        world_config = MappingWorldConfig(
+            population=5,
+            max_steps=3000,
+            degrade_at=10,
+            degrade_fraction=0.5,
+            degrade_amount=0.6,
+        )
+        # Degradation may disconnect the network; the run must simply
+        # expire its budget (or finish) without errors.
+        result = run_mapping(topology, world_config, seed=4)
+        assert result.steps_simulated <= 3000

@@ -1,0 +1,109 @@
+"""Integration: mapping scenario end-to-end, paper claims at small scale.
+
+These tests run full worlds over several seeds and assert the paper's
+comparative *orderings*, not absolute step counts.  Seeds and sizes are
+chosen so the orderings are stable, keeping the suite deterministic.
+"""
+
+import statistics
+
+from repro.mapping.world import MappingWorldConfig, run_mapping
+from repro.net.generator import GeneratorConfig, NetworkGenerator
+
+# 80 nodes: the smallest size at which the paper's team effects (notably
+# stigmergy rescuing super-conscientious agents) are comfortably larger
+# than seed noise across the 6 test seeds.
+NETWORK = GeneratorConfig(
+    node_count=80,
+    target_edges=None,
+    range_heterogeneity=0.3,
+    require_strong_connectivity=True,
+)
+
+SEEDS = range(6)
+
+
+def topologies():
+    return [NetworkGenerator(NETWORK, 1000 + s).generate_static() for s in SEEDS]
+
+
+def mean_finish(topos, **config_kwargs):
+    config = MappingWorldConfig(max_steps=50_000, **config_kwargs)
+    values = []
+    for seed, topology in zip(SEEDS, topos):
+        result = run_mapping(topology, config, 2000 + seed)
+        assert result.finished, "every run must finish within the budget"
+        values.append(result.finishing_time)
+    return statistics.mean(values)
+
+
+class TestPaperOrderings:
+    def test_conscientious_beats_random_single_agent(self):
+        topos = topologies()
+        conscientious = mean_finish(topos, agent_kind="conscientious", population=1)
+        random_walk = mean_finish(topos, agent_kind="random", population=1)
+        assert conscientious * 2 < random_walk
+
+    def test_population_speeds_up_mapping(self):
+        topos = topologies()
+        one = mean_finish(topos, agent_kind="conscientious", population=1)
+        eight = mean_finish(topos, agent_kind="conscientious", population=8)
+        assert eight < one
+
+    def test_stigmergy_helps_super_conscientious_teams(self):
+        topos = topologies()
+        plain = mean_finish(topos, agent_kind="super-conscientious", population=8)
+        stigmergic = mean_finish(
+            topos, agent_kind="super-conscientious", population=8, stigmergic=True
+        )
+        assert stigmergic < plain
+
+    def test_super_conscientious_crossover_with_population(self):
+        # Paper fig5: super-conscientious wins at small populations (peer
+        # info partitions the work) but loses at large ones (meetings make
+        # agents identical, so they chase each other).
+        topos = topologies()
+        small_consc = mean_finish(topos, agent_kind="conscientious", population=6)
+        small_super = mean_finish(
+            topos, agent_kind="super-conscientious", population=6
+        )
+        large_consc = mean_finish(topos, agent_kind="conscientious", population=24)
+        large_super = mean_finish(
+            topos, agent_kind="super-conscientious", population=24
+        )
+        assert small_super < small_consc  # super best when sparse
+        assert large_super > large_consc  # conscientious best when crowded
+
+    def test_stigmergy_reverses_super_penalty(self):
+        # Paper fig6: with footprints, super-conscientious wins.
+        topos = topologies()
+        conscientious = mean_finish(
+            topos, agent_kind="conscientious", population=12, stigmergic=True
+        )
+        super_c = mean_finish(
+            topos, agent_kind="super-conscientious", population=12, stigmergic=True
+        )
+        assert super_c <= conscientious * 1.05
+
+
+class TestFullRunBehaviour:
+    def test_minimum_knowledge_reaches_one_exactly_at_finish(self):
+        topology = NetworkGenerator(NETWORK, 1234).generate_static()
+        config = MappingWorldConfig(population=4, max_steps=20_000)
+        result = run_mapping(topology, config, 99)
+        assert result.minimum_knowledge[-1] == 1.0
+        assert all(v < 1.0 for v in result.minimum_knowledge[:-1])
+        assert result.times[-1] == result.finishing_time
+
+    def test_every_agent_kind_completes(self):
+        topology = NetworkGenerator(NETWORK, 4321).generate_static()
+        for kind in ("random", "conscientious", "super-conscientious"):
+            for stigmergic in (False, True):
+                config = MappingWorldConfig(
+                    agent_kind=kind,
+                    population=6,
+                    stigmergic=stigmergic,
+                    max_steps=50_000,
+                )
+                result = run_mapping(topology, config, 5)
+                assert result.finished, (kind, stigmergic)

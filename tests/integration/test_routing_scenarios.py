@@ -1,0 +1,105 @@
+"""Integration: routing scenario end-to-end, paper claims at small scale."""
+
+import statistics
+
+from repro.net.generator import GeneratorConfig, NetworkGenerator
+from repro.routing.world import RoutingWorldConfig, run_routing
+
+NETWORK = GeneratorConfig(
+    node_count=60,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=4,
+    mobile_fraction=0.5,
+)
+
+SEEDS = range(6)
+
+
+def mean_connectivity(**config_kwargs):
+    defaults = dict(
+        agent_kind="oldest-node",
+        population=20,
+        history_size=8,
+        total_steps=120,
+        converged_after=60,
+    )
+    defaults.update(config_kwargs)
+    config = RoutingWorldConfig(**defaults)
+    values = []
+    for seed in SEEDS:
+        topology = NetworkGenerator(NETWORK, 3000 + seed).generate_manet()
+        values.append(run_routing(topology, config, 4000 + seed).mean_connectivity)
+    return statistics.mean(values)
+
+
+class TestPaperOrderings:
+    def test_oldest_node_beats_random(self):
+        oldest = mean_connectivity(agent_kind="oldest-node")
+        rand = mean_connectivity(agent_kind="random")
+        assert oldest > rand
+
+    def test_more_agents_more_connectivity(self):
+        small = mean_connectivity(population=5)
+        large = mean_connectivity(population=40)
+        assert large > small
+
+    def test_more_history_more_connectivity(self):
+        short = mean_connectivity(history_size=2)
+        long = mean_connectivity(history_size=20)
+        assert long > short
+
+    def test_connectivity_rises_from_start(self):
+        config = RoutingWorldConfig(
+            agent_kind="oldest-node",
+            population=20,
+            history_size=8,
+            total_steps=120,
+            converged_after=60,
+        )
+        topology = NetworkGenerator(NETWORK, 3100).generate_manet()
+        result = run_routing(topology, config, 4100)
+        early = statistics.mean(result.connectivity[:10])
+        late = statistics.mean(result.connectivity[-30:])
+        assert late > early
+
+
+class TestFullRunBehaviour:
+    def test_all_variants_run_and_stay_in_bounds(self):
+        topology_seed = 3200
+        for kind in ("random", "oldest-node"):
+            for visiting in (False, True):
+                for stigmergic in (False, True):
+                    topology = NetworkGenerator(NETWORK, topology_seed).generate_manet()
+                    config = RoutingWorldConfig(
+                        agent_kind=kind,
+                        population=12,
+                        visiting=visiting,
+                        stigmergic=stigmergic,
+                        total_steps=60,
+                        converged_after=30,
+                    )
+                    result = run_routing(topology, config, 11)
+                    assert len(result.connectivity) == 60
+                    assert all(0.0 <= v <= 1.0 for v in result.connectivity)
+
+    def test_paired_runs_share_movement(self):
+        # The same network seed must reproduce identical node trajectories
+        # regardless of the agent configuration running on top.
+        a = NetworkGenerator(NETWORK, 3300).generate_manet()
+        b = NetworkGenerator(NETWORK, 3300).generate_manet()
+        config_a = RoutingWorldConfig(population=5, total_steps=1, converged_after=0)
+        config_b = RoutingWorldConfig(population=25, total_steps=1, converged_after=0)
+        run_routing(a, config_a, 1)
+        run_routing(b, config_b, 1)
+        assert [n.position for n in a.nodes] == [n.position for n in b.nodes]
+        assert a.edge_set() == b.edge_set()
+
+    def test_gateway_islands_cap_connectivity(self):
+        # If gateways plus agents cannot reach some nodes, connectivity
+        # stays strictly below 1; the metric must reflect that honestly.
+        topology = NetworkGenerator(NETWORK, 3400).generate_manet()
+        config = RoutingWorldConfig(population=30, total_steps=80, converged_after=40)
+        result = run_routing(topology, config, 12)
+        assert max(result.connectivity) <= 1.0

@@ -1,0 +1,120 @@
+"""Property tests: geometry metrics and topology recomputation."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.geometry import Arena, Point
+from repro.net.mobility import RandomVelocity, RandomWaypoint
+from repro.net.node import Node
+from repro.net.radio import HeterogeneousRange
+from repro.net.topology import Topology
+
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestMetricProperties:
+    @given(points, points)
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        assert math.isclose(a.distance_to(b), b.distance_to(a), rel_tol=1e-9)
+
+    @given(points, points, points)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points)
+    @settings(max_examples=50)
+    def test_identity(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(points, points)
+    @settings(max_examples=100)
+    def test_squared_consistency(self, a, b):
+        assert math.isclose(
+            a.distance_squared_to(b), a.distance_to(b) ** 2, rel_tol=1e-9
+        )
+
+
+class TestArenaProperties:
+    @given(points)
+    @settings(max_examples=100)
+    def test_clamp_is_inside_and_idempotent(self, p):
+        arena = Arena(100, 60)
+        clamped = arena.clamp(p)
+        assert arena.contains(clamped)
+        assert arena.clamp(clamped) == clamped
+
+    @given(points)
+    @settings(max_examples=100)
+    def test_clamp_fixes_inside_points(self, p):
+        arena = Arena(100, 60)
+        if arena.contains(p):
+            assert arena.clamp(p) == p
+
+
+@st.composite
+def placements(draw):
+    n = draw(st.integers(min_value=2, max_value=15))
+    xs = draw(st.lists(st.floats(0, 100), min_size=n, max_size=n))
+    ys = draw(st.lists(st.floats(0, 100), min_size=n, max_size=n))
+    ranges = draw(st.lists(st.floats(1, 60), min_size=n, max_size=n))
+    return list(zip(xs, ys, ranges))
+
+
+class TestTopologyProperties:
+    @given(placements())
+    @settings(max_examples=100)
+    def test_grid_recompute_matches_brute_force(self, placement):
+        arena = Arena(100, 100)
+        nodes = [
+            Node(i, Point(x, y), HeterogeneousRange(r))
+            for i, (x, y, r) in enumerate(placement)
+        ]
+        topology = Topology(nodes, arena)
+        topology.recompute()
+        for i, a in enumerate(nodes):
+            for j, b in enumerate(nodes):
+                if i == j:
+                    continue
+                expected = a.position.distance_to(b.position) <= a.current_range()
+                assert topology.has_edge(i, j) == expected
+
+    @given(placements())
+    @settings(max_examples=50)
+    def test_edges_iterator_consistent_with_count(self, placement):
+        arena = Arena(100, 100)
+        nodes = [
+            Node(i, Point(x, y), HeterogeneousRange(r))
+            for i, (x, y, r) in enumerate(placement)
+        ]
+        topology = Topology(nodes, arena)
+        assert len(list(topology.edges())) == topology.edge_count
+
+
+class TestMobilityProperties:
+    @given(st.integers(min_value=0, max_value=10_000), st.floats(0.5, 20.0))
+    @settings(max_examples=60)
+    def test_random_velocity_confined(self, seed, speed):
+        arena = Arena(40, 40)
+        model = RandomVelocity(random.Random(seed), speed, speed)
+        position = Point(20, 20)
+        for __ in range(100):
+            position = model.move(position, arena)
+            assert arena.contains(position)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_random_waypoint_confined(self, seed):
+        arena = Arena(40, 40)
+        model = RandomWaypoint(random.Random(seed), 1.0, 5.0)
+        position = Point(10, 10)
+        for __ in range(100):
+            position = model.move(position, arena)
+            assert arena.contains(position)

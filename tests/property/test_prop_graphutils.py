@@ -1,0 +1,89 @@
+"""Property tests: graph utilities cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.graphutils import (
+    bfs_hops,
+    edge_count,
+    is_strongly_connected,
+    reachable_from,
+    strongly_connected_components,
+)
+
+
+@st.composite
+def digraphs(draw, max_nodes=12):
+    """A random adjacency dict on 1..max_nodes nodes."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    adjacency = {i: set() for i in range(n)}
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=n * 3,
+        )
+    )
+    for a, b in edges:
+        if a != b:
+            adjacency[a].add(b)
+    return adjacency
+
+
+def to_nx(adjacency):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(adjacency)
+    for node, successors in adjacency.items():
+        graph.add_edges_from((node, s) for s in successors)
+    return graph
+
+
+@given(digraphs())
+@settings(max_examples=150)
+def test_strong_connectivity_matches_networkx(adjacency):
+    assert is_strongly_connected(adjacency) == nx.is_strongly_connected(to_nx(adjacency))
+
+
+@given(digraphs())
+@settings(max_examples=150)
+def test_scc_matches_networkx(adjacency):
+    ours = sorted(sorted(c) for c in strongly_connected_components(adjacency))
+    theirs = sorted(sorted(c) for c in nx.strongly_connected_components(to_nx(adjacency)))
+    assert ours == theirs
+
+
+@given(digraphs(), st.integers(min_value=0, max_value=11))
+@settings(max_examples=150)
+def test_reachable_matches_networkx(adjacency, start):
+    if start not in adjacency:
+        start = 0
+    ours = reachable_from(adjacency, start)
+    theirs = set(nx.descendants(to_nx(adjacency), start)) | {start}
+    assert ours == theirs
+
+
+@given(digraphs(), st.integers(min_value=0, max_value=11))
+@settings(max_examples=150)
+def test_bfs_hops_matches_networkx(adjacency, start):
+    if start not in adjacency:
+        start = 0
+    ours = bfs_hops(adjacency, start)
+    theirs = nx.single_source_shortest_path_length(to_nx(adjacency), start)
+    assert ours == dict(theirs)
+
+
+@given(digraphs())
+@settings(max_examples=100)
+def test_edge_count_matches_networkx(adjacency):
+    assert edge_count(adjacency) == to_nx(adjacency).number_of_edges()
+
+
+@given(digraphs())
+@settings(max_examples=100)
+def test_scc_partition_property(adjacency):
+    components = strongly_connected_components(adjacency)
+    all_nodes = [n for c in components for n in c]
+    assert sorted(all_nodes) == sorted(adjacency)  # partition, no repeats

@@ -1,0 +1,125 @@
+"""Property tests: visit-history and footprint-board invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import VisitHistory
+from repro.core.stigmergy import FootprintBoard, StigmergyField
+from repro.types import NEVER
+
+nodes = st.integers(min_value=0, max_value=30)
+agents = st.integers(min_value=0, max_value=10)
+
+visit_sequences = st.lists(st.tuples(nodes, st.integers(min_value=0, max_value=500)))
+
+
+class TestHistoryProperties:
+    @given(st.integers(min_value=1, max_value=8), visit_sequences)
+    @settings(max_examples=100)
+    def test_capacity_never_exceeded(self, capacity, visits):
+        history = VisitHistory(capacity)
+        for node, time in visits:
+            history.record(node, time)
+            assert len(history) <= capacity
+
+    @given(st.integers(min_value=1, max_value=8), visit_sequences)
+    @settings(max_examples=100)
+    def test_remembered_time_is_a_recorded_time(self, capacity, visits):
+        history = VisitHistory(capacity)
+        recorded = {}
+        for node, time in visits:
+            history.record(node, time)
+            recorded.setdefault(node, []).append(time)
+        for node, observed_times in recorded.items():
+            remembered = history.last_visit(node)
+            assert remembered == NEVER or remembered in observed_times
+
+    @given(visit_sequences)
+    @settings(max_examples=100)
+    def test_unbounded_history_is_exact(self, visits):
+        history = VisitHistory(10_000)
+        latest = {}
+        for node, time in visits:
+            history.record(node, time)
+            latest[node] = time
+        # With effectively unlimited capacity nothing is ever forgotten,
+        # and the remembered time is the time of the *latest* record.
+        for node, time in latest.items():
+            assert history.last_visit(node) == time
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        visit_sequences,
+        visit_sequences,
+    )
+    @settings(max_examples=80)
+    def test_merge_never_forgets_the_freshest_entry(self, capacity, mine, theirs):
+        a = VisitHistory(capacity)
+        b = VisitHistory(capacity)
+        for node, time in mine:
+            a.record(node, time)
+        for node, time in theirs:
+            b.record(node, time)
+        freshest = max(
+            [t for __, t in a.items()] + [t for __, t in b.items()],
+            default=None,
+        )
+        a.merge_from(b)
+        if freshest is not None:
+            assert freshest in {t for __, t in a.items()}
+
+
+stamp_sequences = st.lists(
+    st.tuples(agents, nodes, st.integers(min_value=0, max_value=100)), max_size=40
+)
+
+
+class TestBoardProperties:
+    @given(st.integers(min_value=1, max_value=5), stamp_sequences)
+    @settings(max_examples=100)
+    def test_capacity_never_exceeded(self, capacity, stamps):
+        board = FootprintBoard(capacity=capacity)
+        for agent, target, time in stamps:
+            board.stamp(agent, target, time)
+            assert len(board) <= capacity
+
+    @given(stamp_sequences)
+    @settings(max_examples=100)
+    def test_at_most_one_mark_per_agent(self, stamps):
+        board = FootprintBoard(capacity=100)
+        for agent, target, time in stamps:
+            board.stamp(agent, target, time)
+        marks = board.fresh_marks(now=10**6)
+        assert len({m.agent for m in marks}) == len(marks)
+
+    @given(stamp_sequences, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100)
+    def test_fresh_targets_subset_of_all_targets(self, stamps, freshness):
+        board = FootprintBoard(capacity=100, freshness=freshness)
+        stamped_targets = set()
+        for agent, target, time in stamps:
+            board.stamp(agent, target, time)
+            stamped_targets.add(target)
+        now = max((t for __, __, t in stamps), default=0)
+        assert board.fresh_targets(now) <= stamped_targets
+
+
+class TestFieldProperties:
+    @given(
+        stamp_sequences,
+        st.lists(nodes, min_size=1, max_size=8, unique=True),
+        nodes,
+    )
+    @settings(max_examples=100)
+    def test_filter_returns_nonempty_subset(self, stamps, candidates, at_node):
+        field = StigmergyField(freshness=10)
+        now = 0
+        for agent, target, time in stamps:
+            field.stamp(at_node, agent, target, time)
+            now = max(now, time)
+        filtered = field.filter_candidates(at_node, candidates, now)
+        assert filtered  # never empties the candidate set
+        assert set(filtered) <= set(candidates)
+        # Order of surviving candidates is preserved.
+        positions = [candidates.index(c) for c in filtered]
+        assert positions == sorted(positions)

@@ -1,0 +1,98 @@
+"""Property tests: knowledge stores are monotone and merge-safe."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knowledge import TopologyKnowledge
+from repro.types import NEVER
+
+nodes = st.integers(min_value=0, max_value=20)
+times = st.integers(min_value=0, max_value=1000)
+
+observations = st.lists(
+    st.tuples(nodes, st.lists(nodes, max_size=5), times), max_size=30
+)
+
+
+def build(obs):
+    knowledge = TopologyKnowledge()
+    for node, neighbors, time in obs:
+        knowledge.observe_node(node, neighbors, time)
+    return knowledge
+
+
+@given(observations)
+@settings(max_examples=100)
+def test_edge_count_monotone_under_observation(obs):
+    knowledge = TopologyKnowledge()
+    previous = 0
+    for node, neighbors, time in obs:
+        knowledge.observe_node(node, neighbors, time)
+        assert knowledge.known_edge_count >= previous
+        previous = knowledge.known_edge_count
+
+
+@given(observations, observations)
+@settings(max_examples=100)
+def test_absorb_is_superset_union(obs_a, obs_b):
+    a = build(obs_a)
+    b = build(obs_b)
+    a.absorb(b.shareable_edges(), b.shareable_visits())
+    assert a.all_edges >= b.all_edges
+    assert a.all_edges >= a.first_hand_edges
+
+
+@given(observations, observations)
+@settings(max_examples=100)
+def test_absorb_idempotent(obs_a, obs_b):
+    a = build(obs_a)
+    b = build(obs_b)
+    a.absorb(b.shareable_edges(), b.shareable_visits())
+    edges_once = a.all_edges
+    visits_once = {n: a.last_combined_visit(n) for n in range(21)}
+    a.absorb(b.shareable_edges(), b.shareable_visits())
+    assert a.all_edges == edges_once
+    assert {n: a.last_combined_visit(n) for n in range(21)} == visits_once
+
+
+@given(observations)
+@settings(max_examples=100)
+def test_combined_visit_never_older_than_first_hand(obs):
+    knowledge = build(obs)
+    for node in range(21):
+        assert knowledge.last_combined_visit(node) >= knowledge.last_first_hand_visit(node)
+
+
+@given(observations)
+@settings(max_examples=100)
+def test_completeness_bounds(obs):
+    knowledge = build(obs)
+    for total in (0, 1, 10, 1000):
+        fraction = knowledge.completeness(total)
+        assert 0.0 <= fraction <= 1.0
+
+
+@given(observations, observations, observations)
+@settings(max_examples=60)
+def test_absorb_commutative_on_edges(obs_a, obs_b, obs_c):
+    base_a = build(obs_a)
+    base_b = build(obs_a)
+    b = build(obs_b)
+    c = build(obs_c)
+    base_a.absorb(b.shareable_edges(), b.shareable_visits())
+    base_a.absorb(c.shareable_edges(), c.shareable_visits())
+    base_b.absorb(c.shareable_edges(), c.shareable_visits())
+    base_b.absorb(b.shareable_edges(), b.shareable_visits())
+    assert base_a.all_edges == base_b.all_edges
+    for node in range(21):
+        assert base_a.last_combined_visit(node) == base_b.last_combined_visit(node)
+
+
+@given(observations)
+@settings(max_examples=50)
+def test_never_for_unvisited(obs):
+    knowledge = build(obs)
+    visited = {node for node, __, __ in obs}
+    for node in range(21):
+        if node not in visited:
+            assert knowledge.last_first_hand_visit(node) == NEVER

@@ -1,0 +1,70 @@
+"""Property tests: pheromone field invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pheromone import PheromoneField
+
+nodes = st.integers(min_value=0, max_value=10)
+deposits = st.lists(
+    st.tuples(nodes, nodes, st.floats(min_value=0.01, max_value=5.0)), max_size=40
+)
+
+
+@given(deposits)
+@settings(max_examples=100)
+def test_strength_at_least_baseline(batch):
+    field = PheromoneField(initial=0.1)
+    for node, toward, amount in batch:
+        field.deposit(node, toward, amount)
+    for node in range(11):
+        for toward in range(11):
+            assert field.strength(node, toward) >= 0.1
+
+
+@given(deposits)
+@settings(max_examples=100)
+def test_total_equals_sum_of_deposits(batch):
+    field = PheromoneField()
+    expected = 0.0
+    for node, toward, amount in batch:
+        field.deposit(node, toward, amount)
+        expected += amount
+    assert abs(field.total() - expected) < 1e-9
+
+
+@given(deposits, st.integers(min_value=1, max_value=10))
+@settings(max_examples=100)
+def test_evaporation_strictly_decreases_total(batch, rounds):
+    field = PheromoneField(evaporation=0.3)
+    for node, toward, amount in batch:
+        field.deposit(node, toward, amount)
+    previous = field.total()
+    for __ in range(rounds):
+        field.evaporate()
+        current = field.total()
+        assert current <= previous
+        previous = current
+
+
+@given(deposits)
+@settings(max_examples=100)
+def test_evaporation_eventually_empties(batch):
+    field = PheromoneField(evaporation=0.5)
+    for node, toward, amount in batch:
+        field.deposit(node, toward, amount)
+    for __ in range(60):
+        field.evaporate()
+    assert field.trail_count() == 0
+    assert field.total() == 0.0
+
+
+@given(deposits, st.lists(nodes, min_size=1, max_size=6, unique=True))
+@settings(max_examples=100)
+def test_weights_match_strengths(batch, candidates):
+    field = PheromoneField(initial=0.2)
+    for node, toward, amount in batch:
+        field.deposit(node, toward, amount)
+    weights = field.weights(0, candidates)
+    assert weights == [field.strength(0, c) for c in candidates]
+    assert all(w >= 0.2 for w in weights)

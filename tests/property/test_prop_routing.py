@@ -1,0 +1,138 @@
+"""Property tests: routing tables and connectivity-walk safety."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.manual import fixed_topology
+from repro.routing.connectivity import connected_nodes, walk_to_gateway
+from repro.routing.table import RouteEntry, RoutingTable, TableBank
+
+node_ids = st.integers(min_value=0, max_value=7)
+
+entries = st.builds(
+    RouteEntry,
+    gateway=node_ids,
+    next_hop=node_ids,
+    hops=st.integers(min_value=1, max_value=10),
+    installed_at=st.integers(min_value=0, max_value=100),
+    gateway_seen_at=st.integers(min_value=0, max_value=100),
+)
+
+
+class TestTableProperties:
+    @given(st.lists(entries, max_size=30))
+    @settings(max_examples=100)
+    def test_at_most_one_entry_per_gateway(self, batch):
+        table = RoutingTable()
+        for entry in batch:
+            table.install(entry)
+        preferred = table.entries_by_preference()
+        assert len({e.gateway for e in preferred}) == len(preferred)
+
+    @given(st.lists(entries, max_size=30))
+    @settings(max_examples=100)
+    def test_kept_entry_is_best_seen(self, batch):
+        table = RoutingTable()
+        for entry in batch:
+            table.install(entry)
+        by_gateway = {}
+        for entry in batch:
+            current = by_gateway.get(entry.gateway)
+            if current is None or entry.fresher_than(current):
+                by_gateway[entry.gateway] = entry
+        for gateway, expected in by_gateway.items():
+            assert table.entry_for(gateway) == expected
+
+    @given(st.lists(entries, max_size=30), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=100)
+    def test_expiry_removes_exactly_stale(self, batch, ttl):
+        table = RoutingTable(ttl=ttl)
+        for entry in batch:
+            table.install(entry)
+        now = 120
+        table.expire(now)
+        for entry in table.entries_by_preference():
+            assert entry.installed_at >= now - ttl
+
+    @given(st.lists(entries, max_size=30))
+    @settings(max_examples=100)
+    def test_preference_order_sorted(self, batch):
+        table = RoutingTable()
+        for entry in batch:
+            table.install(entry)
+        preferred = table.entries_by_preference()
+        keys = [(-e.gateway_seen_at, e.hops, -e.installed_at, e.gateway) for e in preferred]
+        assert keys == sorted(keys)
+
+
+@st.composite
+def walk_scenarios(draw):
+    """A random small digraph, gateway set, and arbitrary table contents."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    edge_pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=n * 2,
+        )
+    )
+    edges = [(a, b) for a, b in edge_pairs if a != b]
+    gateways = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=2)
+    )
+    raw_entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),  # at node
+                st.integers(min_value=0, max_value=n - 1),  # gateway field
+                st.integers(min_value=0, max_value=n - 1),  # next hop
+                st.integers(min_value=1, max_value=6),  # hops
+                st.integers(min_value=0, max_value=50),  # installed at
+            ),
+            max_size=n * 3,
+        )
+    )
+    return n, edges, gateways, raw_entries
+
+
+class TestWalkSafety:
+    @given(walk_scenarios())
+    @settings(max_examples=150)
+    def test_walks_never_lie(self, scenario):
+        """Whatever garbage the tables hold, a successful walk is genuine:
+
+        every hop is a real current link and the path ends on a gateway;
+        and a walk never crashes or loops forever.
+        """
+        n, edges, gateways, raw_entries = scenario
+        topology = fixed_topology(n, edges, gateways=gateways)
+        bank = TableBank(n)
+        for at_node, gateway, next_hop, hops, installed_at in raw_entries:
+            bank.table(at_node).install(
+                RouteEntry(gateway, next_hop, hops, installed_at)
+            )
+        for start in range(n):
+            path = walk_to_gateway(start, topology, bank, walk_ttl=16)
+            if path is None:
+                continue
+            assert path[0] == start
+            assert topology.node(path[-1]).is_gateway
+            for a, b in zip(path, path[1:]):
+                assert topology.has_edge(a, b)
+            assert len(set(path)) == len(path)  # no cycles
+
+    @given(walk_scenarios())
+    @settings(max_examples=100)
+    def test_connected_nodes_includes_gateways_and_is_sound(self, scenario):
+        n, edges, gateways, raw_entries = scenario
+        topology = fixed_topology(n, edges, gateways=gateways)
+        bank = TableBank(n)
+        for at_node, gateway, next_hop, hops, installed_at in raw_entries:
+            bank.table(at_node).install(
+                RouteEntry(gateway, next_hop, hops, installed_at)
+            )
+        connected = connected_nodes(topology, bank)
+        assert set(topology.gateway_ids) <= connected
+        assert connected <= set(topology.node_ids)

@@ -1,0 +1,122 @@
+"""Unit tests for battery and radio-range models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.battery import Battery, ExponentialDrain, LinearDrain, NoDrain
+from repro.net.radio import BatteryCoupledRange, FixedRange, HeterogeneousRange
+
+
+class TestBattery:
+    def test_initial_level(self):
+        assert Battery(NoDrain()).level == 1.0
+        assert Battery(NoDrain(), level=0.5).level == 0.5
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            Battery(NoDrain(), level=1.5)
+        with pytest.raises(ConfigurationError):
+            Battery(NoDrain(), level=-0.1)
+
+    def test_no_drain_preserves_level(self):
+        battery = Battery(NoDrain(), level=0.7)
+        for __ in range(100):
+            battery.step()
+        assert battery.level == 0.7
+
+    def test_linear_drain(self):
+        battery = Battery(LinearDrain(0.1))
+        battery.step()
+        assert battery.level == pytest.approx(0.9)
+
+    def test_linear_drain_floors_at_zero(self):
+        battery = Battery(LinearDrain(0.4))
+        for __ in range(5):
+            battery.step()
+        assert battery.level == 0.0
+        assert battery.depleted
+
+    def test_linear_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearDrain(-0.1)
+
+    def test_exponential_drain(self):
+        battery = Battery(ExponentialDrain(0.5))
+        battery.step()
+        assert battery.level == pytest.approx(0.5)
+        battery.step()
+        assert battery.level == pytest.approx(0.25)
+
+    def test_exponential_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDrain(1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDrain(-0.2)
+
+    def test_not_depleted_initially(self):
+        assert not Battery(LinearDrain(0.01)).depleted
+
+
+class TestFixedRange:
+    def test_value(self):
+        assert FixedRange(25.0).current_range() == 25.0
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            FixedRange(0)
+
+
+class TestHeterogeneousRange:
+    def test_base_range(self):
+        assert HeterogeneousRange(40.0).current_range() == 40.0
+
+    def test_degradation(self):
+        radio = HeterogeneousRange(100.0)
+        radio.degrade(0.3)
+        assert radio.current_range() == pytest.approx(70.0)
+        assert radio.degradation == 0.3
+
+    def test_degradation_replaces(self):
+        radio = HeterogeneousRange(100.0, degradation=0.5)
+        radio.degrade(0.1)
+        assert radio.current_range() == pytest.approx(90.0)
+
+    def test_invalid_degradation(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousRange(10.0, degradation=1.0)
+        radio = HeterogeneousRange(10.0)
+        with pytest.raises(ConfigurationError):
+            radio.degrade(-0.1)
+
+
+class TestBatteryCoupledRange:
+    def test_full_battery_full_range(self):
+        radio = BatteryCoupledRange(80.0, Battery(NoDrain()))
+        assert radio.current_range() == pytest.approx(80.0)
+
+    def test_range_shrinks_with_battery(self):
+        battery = Battery(LinearDrain(0.75), level=1.0)
+        radio = BatteryCoupledRange(100.0, battery, exponent=0.5)
+        battery.step()  # level 0.25
+        assert radio.current_range() == pytest.approx(50.0)
+
+    def test_floor(self):
+        battery = Battery(LinearDrain(1.0))
+        radio = BatteryCoupledRange(100.0, battery, floor=20.0)
+        battery.step()  # level 0
+        assert radio.current_range() == 20.0
+
+    def test_exponent_shape(self):
+        battery = Battery(NoDrain(), level=0.25)
+        sqrt_radio = BatteryCoupledRange(100.0, battery, exponent=0.5)
+        linear_radio = BatteryCoupledRange(100.0, battery, exponent=1.0)
+        assert sqrt_radio.current_range() > linear_radio.current_range()
+
+    def test_invalid_parameters(self):
+        battery = Battery(NoDrain())
+        with pytest.raises(ConfigurationError):
+            BatteryCoupledRange(0, battery)
+        with pytest.raises(ConfigurationError):
+            BatteryCoupledRange(10, battery, exponent=0)
+        with pytest.raises(ConfigurationError):
+            BatteryCoupledRange(10, battery, floor=-1)

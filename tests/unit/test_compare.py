@@ -1,0 +1,87 @@
+"""Unit tests for the Welch t-test, cross-checked against scipy."""
+
+import random
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.compare import compare_samples, welch_t_test
+from repro.errors import ExperimentError
+
+
+class TestWelchBasics:
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ExperimentError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_identical_constant_samples(self):
+        result = welch_t_test([2.0, 2.0, 2.0], [2.0, 2.0])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_disjoint_constant_samples(self):
+        result = welch_t_test([1.0, 1.0], [5.0, 5.0])
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_obvious_difference_significant(self):
+        a = [10.0 + 0.1 * i for i in range(20)]
+        b = [20.0 + 0.1 * i for i in range(20)]
+        result = welch_t_test(a, b)
+        assert result.significant()
+        assert result.mean_difference == pytest.approx(-10.0)
+
+    def test_same_distribution_not_significant(self):
+        rng = random.Random(5)
+        a = [rng.gauss(0, 1) for __ in range(40)]
+        b = [rng.gauss(0, 1) for __ in range(40)]
+        result = welch_t_test(a, b)
+        assert result.p_value > 0.01
+
+    def test_symmetry(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [2.0, 3.0, 4.0, 6.0]
+        ab = welch_t_test(a, b)
+        ba = welch_t_test(b, a)
+        assert ab.p_value == pytest.approx(ba.p_value)
+        assert ab.statistic == pytest.approx(-ba.statistic)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_p_value_close_to_scipy(self, seed):
+        rng = random.Random(seed)
+        shift = rng.uniform(-1.0, 1.0)
+        a = [rng.gauss(0, 1) for __ in range(40)]
+        b = [rng.gauss(shift, 1.5) for __ in range(35)]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=5e-3)
+
+    def test_degrees_of_freedom_match_scipy_formula(self):
+        a = [1.0, 2.0, 3.0, 4.0, 8.0]
+        b = [1.0, 1.1, 1.2]
+        ours = welch_t_test(a, b)
+        # scipy does not expose df directly; recompute Welch-Satterthwaite.
+        import statistics
+
+        va, vb = statistics.variance(a) / len(a), statistics.variance(b) / len(b)
+        expected = (va + vb) ** 2 / (
+            va**2 / (len(a) - 1) + vb**2 / (len(b) - 1)
+        )
+        assert ours.degrees_of_freedom == pytest.approx(expected)
+
+
+class TestCompareSamples:
+    def test_verdict_mentions_direction_and_significance(self):
+        text = compare_samples([10.0] * 10, [1.0] * 10)
+        assert "higher" in text
+        assert "significant" in text
+
+    def test_insignificant_verdict(self):
+        rng = random.Random(9)
+        a = [rng.gauss(0, 1) for __ in range(10)]
+        b = [rng.gauss(0, 1) for __ in range(10)]
+        text = compare_samples(a, b)
+        assert "not significant" in text or "significant" in text

@@ -1,0 +1,104 @@
+"""Unit tests for the connectivity metric's validity walk."""
+
+from repro.net.manual import fixed_topology
+from repro.routing.connectivity import (
+    connected_nodes,
+    connectivity_fraction,
+    walk_to_gateway,
+)
+from repro.routing.table import RouteEntry, TableBank
+
+
+def install(bank, node, gateway, next_hop, hops=1, installed_at=1):
+    bank.table(node).install(
+        RouteEntry(gateway=gateway, next_hop=next_hop, hops=hops, installed_at=installed_at)
+    )
+
+
+def line_with_gateway():
+    """0(gw) - 1 - 2 - 3 bidirectional."""
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        edges.extend([(a, b), (b, a)])
+    return fixed_topology(4, edges, gateways=[0])
+
+
+class TestWalk:
+    def test_gateway_is_trivially_connected(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        assert walk_to_gateway(0, topology, bank) == [0]
+
+    def test_no_route_fails(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        assert walk_to_gateway(3, topology, bank) is None
+
+    def test_valid_chain(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 3, gateway=0, next_hop=2, hops=3)
+        install(bank, 2, gateway=0, next_hop=1, hops=2)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        assert walk_to_gateway(3, topology, bank) == [3, 2, 1, 0]
+
+    def test_broken_link_invalidates_route(self):
+        # Route points 1 -> 9... wait, point next hop at a non-neighbour.
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 3, gateway=0, next_hop=1)  # 1 is NOT a neighbour of 3
+        assert walk_to_gateway(3, topology, bank) is None
+
+    def test_cycle_detected(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 2, gateway=0, next_hop=3)
+        install(bank, 3, gateway=0, next_hop=2)
+        assert walk_to_gateway(2, topology, bank) is None
+
+    def test_ttl_exhaustion(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 3, gateway=0, next_hop=2, hops=3)
+        install(bank, 2, gateway=0, next_hop=1, hops=2)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        assert walk_to_gateway(3, topology, bank, walk_ttl=2) is None
+        assert walk_to_gateway(3, topology, bank, walk_ttl=3) is not None
+
+    def test_stale_entry_skipped_for_valid_one(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        # Fresher entry points at a non-neighbour (link moved away);
+        # the older entry still works and must be used.
+        install(bank, 1, gateway=0, next_hop=3, installed_at=9)
+        install(bank, 1, gateway=5, next_hop=0, installed_at=5)
+        assert walk_to_gateway(1, topology, bank) == [1, 0]
+
+
+class TestConnectedNodes:
+    def test_gateways_always_counted(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        assert connected_nodes(topology, bank) == {0}
+
+    def test_path_members_counted(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 3, gateway=0, next_hop=2, hops=3)
+        install(bank, 2, gateway=0, next_hop=1, hops=2)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        assert connected_nodes(topology, bank) == {0, 1, 2, 3}
+
+    def test_fraction(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        assert connectivity_fraction(topology, bank) == 0.5
+
+    def test_directed_link_respected(self):
+        # 1 -> 0 exists but 0 -> 1 doesn't; a route from 0 via 1 is dead.
+        topology = fixed_topology(2, [(1, 0)], gateways=[1])
+        bank = TableBank(2)
+        install(bank, 0, gateway=1, next_hop=1)
+        assert walk_to_gateway(0, topology, bank) is None
+        assert connectivity_fraction(topology, bank) == 0.5  # just the gateway

@@ -1,0 +1,46 @@
+"""Unit tests for the convergence-time detector."""
+
+import pytest
+
+from repro.analysis.series import TimeSeries, convergence_time
+from repro.errors import ExperimentError
+
+
+class TestConvergenceTime:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            convergence_time(TimeSeries([], []))
+
+    def test_constant_series_converges_immediately(self):
+        series = TimeSeries(list(range(1, 21)), [0.5] * 20)
+        assert convergence_time(series) == 1
+
+    def test_step_function(self):
+        values = [0.0] * 10 + [0.8] * 30
+        series = TimeSeries(list(range(1, 41)), values)
+        assert convergence_time(series) == 11
+
+    def test_ramp_then_plateau(self):
+        values = [i / 20 for i in range(20)] + [1.0] * 20
+        series = TimeSeries(list(range(1, 41)), values)
+        settled = convergence_time(series, tolerance=0.1)
+        # 10% band around 1.0 -> values >= 0.9 -> ramp index 18 (0.9).
+        assert 15 <= settled <= 21
+
+    def test_tolerance_widens_band(self):
+        values = [i / 20 for i in range(20)] + [1.0] * 20
+        series = TimeSeries(list(range(1, 41)), values)
+        loose = convergence_time(series, tolerance=0.5)
+        tight = convergence_time(series, tolerance=0.05)
+        assert loose <= tight
+
+    def test_never_settling_returns_last_time(self):
+        # Oscillation far outside any band around the tail mean.
+        values = [0.0 if i % 2 else 1.0 for i in range(20)]
+        series = TimeSeries(list(range(1, 21)), values)
+        assert convergence_time(series, tolerance=0.01) == 20
+
+    def test_zero_level_uses_absolute_band(self):
+        values = [1.0] * 5 + [0.0] * 25
+        series = TimeSeries(list(range(1, 31)), values)
+        assert convergence_time(series, tolerance=0.1) == 6

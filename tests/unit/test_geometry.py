@@ -1,0 +1,77 @@
+"""Unit tests for 2D geometry primitives."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.geometry import Arena, Point
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_squared_consistent(self):
+        a, b = Point(2, 3), Point(5, 7)
+        assert a.distance_squared_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_zero_distance(self):
+        p = Point(1.0, 1.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5
+
+
+class TestArena:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Arena(0, 10)
+        with pytest.raises(ConfigurationError):
+            Arena(10, -1)
+
+    def test_contains(self):
+        arena = Arena(10, 20)
+        assert arena.contains(Point(0, 0))
+        assert arena.contains(Point(10, 20))
+        assert not arena.contains(Point(10.01, 5))
+        assert not arena.contains(Point(5, -0.01))
+
+    def test_random_point_inside(self):
+        arena = Arena(50, 30)
+        rng = random.Random(3)
+        for __ in range(100):
+            assert arena.contains(arena.random_point(rng))
+
+    def test_clamp(self):
+        arena = Arena(10, 10)
+        assert arena.clamp(Point(-5, 5)) == Point(0, 5)
+        assert arena.clamp(Point(15, 12)) == Point(10, 10)
+        assert arena.clamp(Point(3, 4)) == Point(3, 4)
+
+    def test_diagonal(self):
+        assert Arena(3, 4).diagonal() == pytest.approx(5.0)
+
+    def test_diagonal_bounds_distances(self):
+        arena = Arena(17, 9)
+        rng = random.Random(4)
+        for __ in range(50):
+            a, b = arena.random_point(rng), arena.random_point(rng)
+            assert a.distance_to(b) <= arena.diagonal() + 1e-9
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Arena(1, 1).width = 2
+
+    def test_diagonal_value(self):
+        assert Arena(1000, 1000).diagonal() == pytest.approx(1000 * math.sqrt(2))

@@ -1,0 +1,111 @@
+"""Unit tests for the directed-graph utilities."""
+
+from repro.net.graphutils import (
+    bfs_hops,
+    edge_count,
+    is_strongly_connected,
+    reachable_from,
+    relabel_compact,
+    restrict,
+    strongly_connected_components,
+)
+
+
+def adj(*edges, nodes=None):
+    """Build an adjacency dict from edge pairs."""
+    result = {}
+    if nodes:
+        for n in nodes:
+            result[n] = set()
+    for a, b in edges:
+        result.setdefault(a, set()).add(b)
+        result.setdefault(b, set())
+    return result
+
+
+class TestEdgeCount:
+    def test_empty(self):
+        assert edge_count({}) == 0
+
+    def test_counts_directed_edges(self):
+        assert edge_count(adj((0, 1), (1, 0), (1, 2))) == 3
+
+
+class TestReachableFrom:
+    def test_includes_start(self):
+        assert reachable_from(adj(nodes=[0]), 0) == {0}
+
+    def test_follows_direction(self):
+        graph = adj((0, 1), (1, 2))
+        assert reachable_from(graph, 0) == {0, 1, 2}
+        assert reachable_from(graph, 2) == {2}
+
+    def test_cycle(self):
+        graph = adj((0, 1), (1, 2), (2, 0))
+        assert reachable_from(graph, 1) == {0, 1, 2}
+
+
+class TestStrongConnectivity:
+    def test_empty_graph_is_strong(self):
+        assert is_strongly_connected({})
+
+    def test_single_node(self):
+        assert is_strongly_connected({0: set()})
+
+    def test_cycle_is_strong(self):
+        assert is_strongly_connected(adj((0, 1), (1, 2), (2, 0)))
+
+    def test_dag_is_not_strong(self):
+        assert not is_strongly_connected(adj((0, 1), (1, 2)))
+
+    def test_two_cycles_bridged_one_way(self):
+        graph = adj((0, 1), (1, 0), (2, 3), (3, 2), (1, 2))
+        assert not is_strongly_connected(graph)
+
+
+class TestSCC:
+    def test_single_component(self):
+        components = strongly_connected_components(adj((0, 1), (1, 2), (2, 0)))
+        assert components == [{0, 1, 2}]
+
+    def test_multiple_components(self):
+        graph = adj((0, 1), (1, 0), (1, 2), (2, 3), (3, 2))
+        components = strongly_connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3]]
+
+    def test_singletons(self):
+        graph = adj((0, 1), (1, 2))
+        components = strongly_connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0], [1], [2]]
+
+    def test_every_node_in_exactly_one_component(self):
+        graph = adj((0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5))
+        components = strongly_connected_components(graph)
+        seen = [n for c in components for n in c]
+        assert sorted(seen) == sorted(graph)
+
+
+class TestBfsHops:
+    def test_start_is_zero(self):
+        assert bfs_hops(adj(nodes=[0]), 0) == {0: 0}
+
+    def test_hop_counts(self):
+        graph = adj((0, 1), (1, 2), (0, 2), (2, 3))
+        hops = bfs_hops(graph, 0)
+        assert hops == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_unreachable_absent(self):
+        graph = adj((0, 1), nodes=[0, 1, 2])
+        assert 2 not in bfs_hops(graph, 0)
+
+
+class TestRestrictRelabel:
+    def test_restrict_drops_outside_edges(self):
+        graph = adj((0, 1), (1, 2), (2, 0))
+        sub = restrict(graph, [0, 1])
+        assert sub == {0: {1}, 1: set()}
+
+    def test_relabel_compact(self):
+        graph = adj((5, 9), (9, 5))
+        relabeled = relabel_compact(graph, [5, 9])
+        assert relabeled == {0: {1}, 1: {0}}

@@ -1,0 +1,91 @@
+"""Unit tests for the bounded visit history."""
+
+import pytest
+
+from repro.core.history import VisitHistory
+from repro.errors import ConfigurationError
+from repro.types import NEVER
+
+
+class TestVisitHistory:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            VisitHistory(0)
+
+    def test_record_and_query(self):
+        history = VisitHistory(5)
+        history.record(3, 10)
+        assert history.last_visit(3) == 10
+        assert 3 in history
+        assert len(history) == 1
+
+    def test_unknown_is_never(self):
+        assert VisitHistory(5).last_visit(99) == NEVER
+
+    def test_revisit_updates(self):
+        history = VisitHistory(5)
+        history.record(3, 10)
+        history.record(3, 20)
+        assert history.last_visit(3) == 20
+        assert len(history) == 1
+
+    def test_eviction_of_stalest(self):
+        history = VisitHistory(2)
+        history.record(1, 10)
+        history.record(2, 20)
+        history.record(3, 30)
+        assert history.last_visit(1) == NEVER  # forgotten
+        assert history.last_visit(2) == 20
+        assert history.last_visit(3) == 30
+
+    def test_eviction_follows_recency_not_insertion(self):
+        history = VisitHistory(2)
+        history.record(1, 10)
+        history.record(2, 20)
+        history.record(1, 30)  # node 1 is now fresher than node 2
+        history.record(3, 40)
+        assert history.last_visit(2) == NEVER
+        assert history.last_visit(1) == 30
+
+    def test_merge_keeps_freshest(self):
+        a = VisitHistory(5)
+        b = VisitHistory(5)
+        a.record(1, 10)
+        b.record(1, 20)
+        b.record(2, 5)
+        a.merge_from(b)
+        assert a.last_visit(1) == 20
+        assert a.last_visit(2) == 5
+
+    def test_merge_respects_capacity(self):
+        a = VisitHistory(2)
+        b = VisitHistory(5)
+        for node, time in ((1, 10), (2, 20), (3, 30), (4, 40)):
+            b.record(node, time)
+        a.merge_from(b)
+        assert len(a) == 2
+        assert a.last_visit(4) == 40
+        assert a.last_visit(3) == 30
+        assert a.last_visit(1) == NEVER
+
+    def test_merge_makes_agents_identical(self):
+        # The paper's §III-F effect: after a meeting, identical history.
+        a = VisitHistory(4)
+        b = VisitHistory(4)
+        a.record(1, 10)
+        a.record(2, 12)
+        b.record(3, 11)
+        merged = VisitHistory(8)
+        for h in (a, b):
+            for node, time in h.items():
+                merged.record(node, time)
+        a.merge_from(merged)
+        b.merge_from(merged)
+        assert a.snapshot() == b.snapshot()
+
+    def test_snapshot_is_copy(self):
+        history = VisitHistory(3)
+        history.record(1, 5)
+        snap = history.snapshot()
+        snap[1] = 99
+        assert history.last_visit(1) == 5

@@ -1,0 +1,151 @@
+"""Unit tests for the mapping world and its metrics."""
+
+import random
+
+import pytest
+
+from repro.core.mapping_agents import ConscientiousAgent
+from repro.errors import ConfigurationError
+from repro.mapping.metrics import KnowledgeTracker
+from repro.mapping.world import MappingWorld, MappingWorldConfig, run_mapping
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MappingWorldConfig(population=0)
+        with pytest.raises(ConfigurationError):
+            MappingWorldConfig(max_steps=0)
+        with pytest.raises(ConfigurationError):
+            MappingWorldConfig(degrade_fraction=1.5)
+
+    def test_defaults(self):
+        config = MappingWorldConfig()
+        assert config.agent_kind == "conscientious"
+        assert config.cooperation
+
+
+class TestKnowledgeTracker:
+    def test_records_fractions(self):
+        tracker = KnowledgeTracker(total_edges=4)
+        agent = ConscientiousAgent(0, 0, random.Random(1))
+        agent.knowledge.observe_node(0, [1, 2], time=1)
+        finished = tracker.record(1, [agent])
+        assert not finished
+        assert tracker.average_knowledge == [0.5]
+        assert tracker.minimum_knowledge == [0.5]
+
+    def test_finishing_detected_once(self):
+        tracker = KnowledgeTracker(total_edges=1)
+        agent = ConscientiousAgent(0, 0, random.Random(1))
+        agent.knowledge.observe_node(0, [1], time=1)
+        assert tracker.record(1, [agent])
+        assert tracker.finishing_time == 1
+        assert not tracker.record(2, [agent])  # only reported once
+        assert tracker.finishing_time == 1
+
+    def test_minimum_gates_finishing(self):
+        tracker = KnowledgeTracker(total_edges=1)
+        done = ConscientiousAgent(0, 0, random.Random(1))
+        done.knowledge.observe_node(0, [1], time=1)
+        behind = ConscientiousAgent(1, 0, random.Random(2))
+        assert not tracker.record(1, [done, behind])
+        assert tracker.minimum_knowledge == [0.0]
+
+    def test_live_edges_mode_ignores_vanished_edges(self):
+        tracker = KnowledgeTracker(total_edges=2)
+        agent = ConscientiousAgent(0, 0, random.Random(1))
+        agent.knowledge.observe_node(0, [1, 2], time=1)  # knows (0,1), (0,2)
+        live = frozenset({(0, 1), (5, 6)})
+        assert not tracker.record(1, [agent], live_edges=live)
+        assert tracker.minimum_knowledge == [0.5]  # (0,2) no longer counts
+
+
+class TestMappingWorld:
+    def test_single_agent_finishes_line(self, line5):
+        config = MappingWorldConfig(agent_kind="conscientious", max_steps=200)
+        result = MappingWorld(line5, config, seed=1).run()
+        assert result.finished
+        assert result.finishing_time <= 50
+
+    def test_random_agent_finishes_ring(self, ring6):
+        config = MappingWorldConfig(agent_kind="random", max_steps=2000)
+        result = MappingWorld(ring6, config, seed=2).run()
+        assert result.finished
+
+    def test_directed_cycle_forces_full_loop(self, directed_cycle4):
+        config = MappingWorldConfig(agent_kind="conscientious", max_steps=50)
+        result = MappingWorld(directed_cycle4, config, seed=1).run()
+        # The agent can only go around; 4 distinct nodes must be stood on.
+        assert result.finished
+        assert result.finishing_time >= 4
+
+    def test_unreachable_budget_returns_unfinished(self, line5):
+        config = MappingWorldConfig(agent_kind="conscientious", max_steps=2)
+        result = MappingWorld(line5, config, seed=1).run()
+        assert not result.finished
+        assert result.finishing_time is None
+        assert result.steps_simulated == 2
+
+    def test_team_faster_than_single(self, small_static_network):
+        single = run_mapping(
+            small_static_network,
+            MappingWorldConfig(agent_kind="conscientious", population=1, max_steps=5000),
+            seed=3,
+        )
+        team = run_mapping(
+            small_static_network,
+            MappingWorldConfig(agent_kind="conscientious", population=8, max_steps=5000),
+            seed=3,
+        )
+        assert team.finishing_time < single.finishing_time
+
+    def test_cooperation_off_slows_team(self, small_static_network):
+        on = run_mapping(
+            small_static_network,
+            MappingWorldConfig(population=6, cooperation=True, max_steps=8000),
+            seed=4,
+        )
+        off = run_mapping(
+            small_static_network,
+            MappingWorldConfig(population=6, cooperation=False, max_steps=8000),
+            seed=4,
+        )
+        assert on.finishing_time <= off.finishing_time
+        assert on.meetings > 0
+        assert off.meetings == 0
+
+    def test_determinism(self, small_static_network):
+        config = MappingWorldConfig(population=4, max_steps=4000)
+        a = run_mapping(small_static_network, config, seed=5)
+        b = run_mapping(small_static_network, config, seed=5)
+        assert a.finishing_time == b.finishing_time
+        assert a.average_knowledge == b.average_knowledge
+
+    def test_different_seeds_vary(self, small_static_network):
+        config = MappingWorldConfig(population=4, max_steps=4000)
+        results = {
+            run_mapping(small_static_network, config, seed=s).finishing_time
+            for s in range(6)
+        }
+        assert len(results) > 1
+
+    def test_knowledge_series_monotone(self, small_static_network):
+        config = MappingWorldConfig(population=4, max_steps=4000)
+        result = run_mapping(small_static_network, config, seed=6)
+        for earlier, later in zip(result.average_knowledge, result.average_knowledge[1:]):
+            assert later >= earlier
+
+    def test_degradation_shrinks_target(self, small_static_network):
+        config = MappingWorldConfig(
+            population=6,
+            max_steps=8000,
+            degrade_at=5,
+            degrade_fraction=0.2,
+            degrade_amount=0.4,
+        )
+        world = MappingWorld(small_static_network, config, seed=7)
+        edges_before = small_static_network.edge_count
+        result = world.run()
+        assert small_static_network.edge_count < edges_before
+        assert result.finished

@@ -1,0 +1,134 @@
+"""Unit tests for mobility models and the Node composite."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.battery import Battery, LinearDrain
+from repro.net.geometry import Arena, Point
+from repro.net.mobility import RandomVelocity, RandomWaypoint, Stationary
+from repro.net.node import Node
+from repro.net.radio import BatteryCoupledRange, FixedRange
+
+
+class TestStationary:
+    def test_never_moves(self):
+        model = Stationary()
+        position = Point(5, 5)
+        assert model.move(position, Arena(10, 10)) == position
+
+
+class TestRandomVelocity:
+    def test_speed_in_range(self):
+        for seed in range(20):
+            model = RandomVelocity(random.Random(seed), 2.0, 8.0)
+            assert 2.0 <= model.speed <= 8.0
+
+    def test_moves_by_speed(self):
+        model = RandomVelocity(random.Random(1), 3.0, 3.0)
+        arena = Arena(1000, 1000)
+        start = Point(500, 500)
+        end = model.move(start, arena)
+        assert start.distance_to(end) == pytest.approx(3.0)
+
+    def test_stays_in_arena(self):
+        arena = Arena(50, 50)
+        model = RandomVelocity(random.Random(2), 10.0, 10.0)
+        position = Point(2, 2)
+        for __ in range(500):
+            position = model.move(position, arena)
+            assert arena.contains(position)
+
+    def test_bounce_reverses_velocity(self):
+        model = RandomVelocity(random.Random(3), 5.0, 5.0)
+        arena = Arena(20, 20)
+        # Walk into a wall repeatedly; velocity must flip, not escape.
+        position = Point(19, 10)
+        before = model.velocity
+        for __ in range(10):
+            position = model.move(position, arena)
+        after = model.velocity
+        assert math.hypot(after.x, after.y) == pytest.approx(
+            math.hypot(before.x, before.y)
+        )
+
+    def test_invalid_speeds(self):
+        with pytest.raises(ConfigurationError):
+            RandomVelocity(random.Random(1), -1.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            RandomVelocity(random.Random(1), 5.0, 2.0)
+
+
+class TestRandomWaypoint:
+    def test_reaches_waypoints_and_stays_inside(self):
+        arena = Arena(100, 100)
+        model = RandomWaypoint(random.Random(5), 2.0, 6.0)
+        position = Point(50, 50)
+        for __ in range(300):
+            position = model.move(position, arena)
+            assert arena.contains(position)
+
+    def test_pause_holds_position(self):
+        arena = Arena(10, 10)
+        model = RandomWaypoint(random.Random(6), 100.0, 100.0, pause=3)
+        position = Point(5, 5)
+        # First move teleports to the waypoint (speed >> arena).
+        position = model.move(position, arena)
+        held = [model.move(position, arena) for __ in range(3)]
+        assert all(p == position for p in held)
+
+    def test_step_bounded_by_speed(self):
+        arena = Arena(100, 100)
+        model = RandomWaypoint(random.Random(7), 2.0, 4.0)
+        position = Point(0, 0)
+        for __ in range(100):
+            nxt = model.move(position, arena)
+            assert position.distance_to(nxt) <= 4.0 + 1e-9
+            position = nxt
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(random.Random(1), 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(random.Random(1), 1.0, 1.0, pause=-1)
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node(0, Point(1, 1), FixedRange(10.0))
+        assert not node.is_gateway
+        assert not node.is_mobile
+        assert node.battery.level == 1.0
+
+    def test_can_reach_within_range(self):
+        a = Node(0, Point(0, 0), FixedRange(10.0))
+        b = Node(1, Point(6, 8), FixedRange(5.0))  # distance 10
+        assert a.can_reach(b)
+        assert not b.can_reach(a)  # asymmetric ranges -> directed link
+
+    def test_advance_drains_battery_and_moves(self):
+        battery = Battery(LinearDrain(0.5))
+        node = Node(
+            0,
+            Point(50, 50),
+            BatteryCoupledRange(10.0, battery),
+            battery=battery,
+            mobility=RandomVelocity(random.Random(1), 1.0, 1.0),
+        )
+        arena = Arena(100, 100)
+        start = node.position
+        node.advance(arena)
+        assert node.battery.level == pytest.approx(0.5)
+        assert node.position != start
+        assert node.is_mobile
+
+    def test_stationary_node_advance_keeps_position(self):
+        node = Node(0, Point(3, 3), FixedRange(5.0))
+        node.advance(Arena(10, 10))
+        assert node.position == Point(3, 3)
+
+    def test_gateway_flag(self):
+        node = Node(2, Point(0, 0), FixedRange(1.0), is_gateway=True)
+        assert node.is_gateway

@@ -1,0 +1,93 @@
+"""Unit tests for packet delivery over routing tables."""
+
+import random
+
+from repro.net.manual import fixed_topology
+from repro.routing.packets import DeliveryStats, PacketOutcome, PacketSimulator
+from repro.routing.table import RouteEntry, TableBank
+
+
+def line_with_gateway():
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        edges.extend([(a, b), (b, a)])
+    return fixed_topology(4, edges, gateways=[0])
+
+
+def chain_tables():
+    bank = TableBank(4)
+    bank.table(3).install(RouteEntry(0, 2, 3, installed_at=1))
+    bank.table(2).install(RouteEntry(0, 1, 2, installed_at=1))
+    bank.table(1).install(RouteEntry(0, 0, 1, installed_at=1))
+    return bank
+
+
+class TestSend:
+    def test_delivery_along_chain(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        outcome = simulator.send(3)
+        assert outcome.delivered
+        assert outcome.hops == 3
+        assert outcome.gateway == 0
+
+    def test_packet_from_gateway(self):
+        simulator = PacketSimulator(line_with_gateway(), TableBank(4))
+        outcome = simulator.send(0)
+        assert outcome.delivered
+        assert outcome.hops == 0
+
+    def test_no_route_fails(self):
+        simulator = PacketSimulator(line_with_gateway(), TableBank(4))
+        outcome = simulator.send(3)
+        assert not outcome.delivered
+
+    def test_ttl_bound(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables(), walk_ttl=2)
+        assert not simulator.send(3).delivered
+
+    def test_loop_does_not_hang(self):
+        bank = TableBank(4)
+        bank.table(2).install(RouteEntry(0, 3, 1, installed_at=1))
+        bank.table(3).install(RouteEntry(0, 2, 1, installed_at=1))
+        simulator = PacketSimulator(line_with_gateway(), bank)
+        assert not simulator.send(2).delivered
+
+
+class TestBatchAndStats:
+    def test_batch_counts(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        stats = simulator.send_batch(50, random.Random(1))
+        assert stats.sent == 50
+        assert stats.delivery_rate == 1.0
+        assert stats.mean_hops > 0
+
+    def test_batch_avoids_gateway_sources(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        stats = simulator.send_batch(20, random.Random(2))
+        assert all(outcome.source != 0 for outcome in stats.outcomes)
+
+    def test_empty_stats(self):
+        stats = DeliveryStats()
+        assert stats.delivery_rate == 0.0
+        assert stats.mean_hops == 0.0
+
+    def test_mean_hops_only_delivered(self):
+        stats = DeliveryStats(
+            outcomes=[
+                PacketOutcome(1, True, 4, gateway=0),
+                PacketOutcome(2, False, 9),
+            ]
+        )
+        assert stats.mean_hops == 4.0
+        assert stats.delivery_rate == 0.5
+
+
+class TestPathStretch:
+    def test_shortest_path_has_stretch_one(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        outcome = simulator.send(3)
+        assert simulator.path_stretch(outcome) == 1.0
+
+    def test_failed_packet_has_no_stretch(self):
+        simulator = PacketSimulator(line_with_gateway(), TableBank(4))
+        assert simulator.path_stretch(simulator.send(3)) is None

@@ -1,0 +1,128 @@
+"""Unit tests for the pheromone field and ant routing agents."""
+
+import random
+
+import pytest
+
+from repro.core.ant_agents import AntRoutingAgent
+from repro.core.pheromone import PheromoneField
+from repro.core.routing_agents import make_routing_agent
+from repro.errors import ConfigurationError
+
+
+class TestPheromoneField:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PheromoneField(evaporation=1.0)
+        with pytest.raises(ConfigurationError):
+            PheromoneField(initial=0.0)
+
+    def test_baseline_strength(self):
+        field = PheromoneField(initial=0.1)
+        assert field.strength(0, 1) == pytest.approx(0.1)
+
+    def test_deposit_accumulates(self):
+        field = PheromoneField(initial=0.1)
+        field.deposit(0, 1, 0.5)
+        field.deposit(0, 1, 0.25)
+        assert field.strength(0, 1) == pytest.approx(0.85)
+
+    def test_deposit_validation(self):
+        with pytest.raises(ConfigurationError):
+            PheromoneField().deposit(0, 1, 0.0)
+
+    def test_weights_align_with_candidates(self):
+        field = PheromoneField(initial=0.1)
+        field.deposit(0, 2, 0.9)
+        weights = field.weights(0, [1, 2, 3])
+        assert weights == pytest.approx([0.1, 1.0, 0.1])
+
+    def test_evaporation_decays(self):
+        field = PheromoneField(evaporation=0.5, initial=0.0001)
+        field.deposit(0, 1, 1.0)
+        field.evaporate()
+        assert field.strength(0, 1) == pytest.approx(0.0001 + 0.5)
+
+    def test_evaporation_prunes_residue(self):
+        field = PheromoneField(evaporation=0.9)
+        field.deposit(0, 1, 0.001)
+        for __ in range(5):
+            field.evaporate()
+        assert field.trail_count() == 0
+
+    def test_total_tracks_deposits(self):
+        field = PheromoneField()
+        assert field.total() == 0.0
+        field.deposit(0, 1, 1.0)
+        field.deposit(2, 3, 0.5)
+        assert field.total() == pytest.approx(1.5)
+
+
+def ant(seed=1, **kwargs):
+    return AntRoutingAgent(0, 0, random.Random(seed), history_size=10, **kwargs)
+
+
+class TestAntRoutingAgent:
+    def test_registered_in_factory(self):
+        agent = make_routing_agent(
+            "ant", 0, 0, random.Random(1), follow_probability=0.5
+        )
+        assert isinstance(agent, AntRoutingAgent)
+        assert agent.follow_probability == 0.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ant(follow_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            ant(deposit_decay=0.0)
+
+    def test_without_field_moves_randomly(self):
+        agent = ant()
+        assert agent.decide([1, 2, 3], time=1) in {1, 2, 3}
+
+    def test_follows_strong_trail(self):
+        agent = ant(follow_probability=1.0)
+        field = PheromoneField(initial=0.001)
+        field.deposit(0, 2, 100.0)
+        agent.pheromone = field
+        picks = [agent.decide([1, 2, 3], time=1) for __ in range(30)]
+        assert picks.count(2) >= 28  # overwhelming weight on node 2
+
+    def test_exploration_breaks_monopoly(self):
+        agent = ant(follow_probability=0.0)
+        field = PheromoneField(initial=0.001)
+        field.deposit(0, 2, 100.0)
+        agent.pheromone = field
+        picks = {agent.decide([1, 2, 3], time=t) for t in range(60)}
+        assert picks == {1, 2, 3}
+
+    def test_deposits_toward_gateway_after_move(self):
+        agent = ant()
+        field = PheromoneField(initial=0.0001)
+        agent.pheromone = field
+        agent.move_to(5, time=1, target_is_gateway=True)  # on the gateway
+        agent.move_to(6, time=2, target_is_gateway=False)
+        # Standing at 6, it came from gateway 5 one hop ago: the trail on
+        # node 6 toward node 5 must be reinforced.
+        assert field.strength(6, 5) > field.initial
+
+    def test_no_deposit_without_tracks(self):
+        agent = ant()
+        field = PheromoneField()
+        agent.pheromone = field
+        agent.move_to(5, time=1, target_is_gateway=False)
+        assert field.total() == 0.0
+
+    def test_closer_gateways_deposit_more(self):
+        near = ant()
+        far = ant(seed=2)
+        field_near = PheromoneField(initial=0.0001)
+        field_far = PheromoneField(initial=0.0001)
+        near.pheromone = field_near
+        far.pheromone = field_far
+        near.move_to(5, time=1, target_is_gateway=True)
+        near.move_to(6, time=2, target_is_gateway=False)
+        far.move_to(5, time=1, target_is_gateway=True)
+        for step, node in enumerate((6, 7, 8), start=2):
+            far.move_to(node, time=step, target_is_gateway=False)
+        assert field_near.total() > field_far.strength(8, 7) - field_far.initial

@@ -1,0 +1,92 @@
+"""Unit tests for ASCII plotting and experiment reports."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot, ascii_series_table
+from repro.analysis.series import TimeSeries
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentReport
+
+
+class TestAsciiPlot:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_plot({})
+
+    def test_renders_axes_and_legend(self):
+        series = TimeSeries(list(range(10)), [v / 10 for v in range(10)])
+        text = ascii_plot({"knowledge": series}, title="demo")
+        assert "demo" in text
+        assert "legend:" in text
+        assert "knowledge" in text
+
+    def test_constant_series_does_not_crash(self):
+        series = TimeSeries([1, 2, 3], [0.5, 0.5, 0.5])
+        assert "legend" in ascii_plot({"flat": series})
+
+    def test_multiple_series_distinct_glyphs(self):
+        a = TimeSeries([1, 2], [0.0, 1.0])
+        b = TimeSeries([1, 2], [1.0, 0.0])
+        text = ascii_plot({"a": a, "b": b})
+        assert "o=a" in text
+        assert "x=b" in text
+
+
+class TestAsciiSeriesTable:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_series_table({})
+
+    def test_samples_requested_times(self):
+        series = TimeSeries([1, 2, 3], [0.1, 0.2, 0.3])
+        text = ascii_series_table({"s": series}, sample_times=[1, 3])
+        assert "0.100" in text
+        assert "0.300" in text
+        assert "0.200" not in text
+
+    def test_missing_sample_shows_dash(self):
+        series = TimeSeries([5, 6], [0.5, 0.6])
+        text = ascii_series_table({"s": series}, sample_times=[1])
+        assert "-" in text
+
+
+class TestExperimentReport:
+    def make_report(self):
+        report = ExperimentReport(
+            experiment_id="figX",
+            title="demo experiment",
+            paper_claim="something holds",
+            columns=["variant", "value"],
+        )
+        report.add_row("a", 1.5)
+        report.add_row("b", 2)
+        return report
+
+    def test_table_alignment(self):
+        text = self.make_report().table_text()
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("variant")
+
+    def test_render_contains_everything(self):
+        report = self.make_report()
+        report.series["curve"] = TimeSeries([1, 2], [0.0, 1.0])
+        report.add_note("observed gap 0.5")
+        text = report.render()
+        assert "figX: demo experiment" in text
+        assert "paper claim: something holds" in text
+        assert "note: observed gap 0.5" in text
+        assert "legend" in text
+
+    def test_render_without_plots(self):
+        report = self.make_report()
+        report.series["curve"] = TimeSeries([1, 2], [0.0, 1.0])
+        text = report.render(plots=False)
+        assert "legend" not in text
+        assert "time" in text  # series table still present
+
+    def test_series_samples(self):
+        report = self.make_report()
+        assert report.series_samples([1]) is None
+        report.series["curve"] = TimeSeries([1, 2], [0.25, 0.75])
+        assert "0.250" in report.series_samples([1])

@@ -1,0 +1,85 @@
+"""Unit tests for route-quality metrics."""
+
+import pytest
+
+from repro.net.manual import fixed_topology
+from repro.routing.metrics import measure_route_quality
+from repro.routing.table import RouteEntry, TableBank
+
+
+def line_with_gateway():
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        edges.extend([(a, b), (b, a)])
+    return fixed_topology(4, edges, gateways=[0])
+
+
+def install(bank, node, next_hop, hops=1, gateway=0):
+    bank.table(node).install(
+        RouteEntry(gateway, next_hop, hops, installed_at=1, gateway_seen_at=1)
+    )
+
+
+class TestMeasureRouteQuality:
+    def test_empty_tables(self):
+        quality = measure_route_quality(line_with_gateway(), TableBank(4))
+        assert quality.connectivity == 0.25  # just the gateway
+        assert quality.mean_stretch is None
+        assert quality.table_coverage == 0.0
+        assert quality.measured_routes == 0
+
+    def test_optimal_chain_has_stretch_one(self):
+        bank = TableBank(4)
+        install(bank, 1, 0)
+        install(bank, 2, 1, hops=2)
+        install(bank, 3, 2, hops=3)
+        quality = measure_route_quality(line_with_gateway(), bank)
+        assert quality.connectivity == 1.0
+        assert quality.mean_stretch == pytest.approx(1.0)
+        assert quality.table_coverage == 0.75
+        assert quality.measured_routes == 3
+
+    def test_detour_increases_stretch(self):
+        # Ring 0(gw)-1-2-3-0: node 1 routes the long way (1->2->3->0).
+        edges = []
+        for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+            edges.extend([(a, b), (b, a)])
+        topology = fixed_topology(4, edges, gateways=[0])
+        bank = TableBank(4)
+        install(bank, 1, 2, hops=3)
+        install(bank, 2, 3, hops=2)
+        install(bank, 3, 0, hops=1)
+        quality = measure_route_quality(topology, bank)
+        # Node 1: shortest 1, routed 3 (stretch 3); node 2: shortest 2,
+        # routed 2 (stretch 1); node 3: shortest 1, routed 1 (stretch 1).
+        expected = (3.0 + 1.0 + 1.0) / 3
+        assert quality.mean_stretch == pytest.approx(expected)
+
+    def test_gateway_balance_single_gateway_undefined(self):
+        bank = TableBank(4)
+        install(bank, 1, 0)
+        quality = measure_route_quality(line_with_gateway(), bank)
+        assert quality.gateway_balance is None
+
+    def test_gateway_balance_even_split_is_one(self):
+        # Line g0 - a - g1 where a routes to g0, b routes to g1.
+        edges = []
+        for a, b in ((0, 1), (1, 2), (2, 3)):
+            edges.extend([(a, b), (b, a)])
+        topology = fixed_topology(4, edges, gateways=[0, 3])
+        bank = TableBank(4)
+        install(bank, 1, 0, gateway=0)
+        install(bank, 2, 3, gateway=3)
+        quality = measure_route_quality(topology, bank)
+        assert quality.gateway_balance == pytest.approx(1.0)
+
+    def test_gateway_balance_skewed_below_one(self):
+        edges = []
+        for a, b in ((0, 1), (1, 2), (2, 3)):
+            edges.extend([(a, b), (b, a)])
+        topology = fixed_topology(4, edges, gateways=[0, 3])
+        bank = TableBank(4)
+        install(bank, 1, 0, gateway=0)
+        install(bank, 2, 1, hops=2, gateway=0)
+        quality = measure_route_quality(topology, bank)
+        assert quality.gateway_balance == pytest.approx(0.0)  # all to gateway 0

@@ -1,0 +1,119 @@
+"""Unit tests for routing tables."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.table import RouteEntry, RoutingTable, TableBank
+
+
+def entry(gateway=9, next_hop=1, hops=3, installed_at=10, seen_at=0):
+    return RouteEntry(
+        gateway=gateway,
+        next_hop=next_hop,
+        hops=hops,
+        installed_at=installed_at,
+        gateway_seen_at=seen_at,
+    )
+
+
+class TestRouteEntry:
+    def test_newer_gateway_sighting_wins(self):
+        assert entry(seen_at=9, hops=8).fresher_than(entry(seen_at=5, hops=1))
+
+    def test_fewer_hops_breaks_sighting_tie(self):
+        assert entry(seen_at=5, hops=2).fresher_than(entry(seen_at=5, hops=5))
+        assert not entry(seen_at=5, hops=5).fresher_than(entry(seen_at=5, hops=2))
+
+    def test_newer_install_breaks_full_tie(self):
+        assert entry(installed_at=11).fresher_than(entry(installed_at=10))
+
+    def test_long_stale_route_cannot_displace_short_fresh_one(self):
+        # The fig9-inverting case: an agent with a big history carries a
+        # long track whose gateway sighting is old; installing it later
+        # must NOT displace a short route with a fresher sighting.
+        short_fresh = entry(hops=2, seen_at=40, installed_at=41)
+        long_stale = entry(hops=19, seen_at=25, installed_at=44)
+        assert not long_stale.fresher_than(short_fresh)
+
+
+class TestRoutingTable:
+    def test_ttl_validation(self):
+        with pytest.raises(RoutingError):
+            RoutingTable(ttl=0)
+
+    def test_install_new(self):
+        table = RoutingTable()
+        assert table.install(entry())
+        assert len(table) == 1
+        assert table.entry_for(9) == entry()
+
+    def test_install_rejects_zero_hops(self):
+        with pytest.raises(RoutingError):
+            RoutingTable().install(entry(hops=0))
+
+    def test_fresher_replaces(self):
+        table = RoutingTable()
+        table.install(entry(seen_at=10, next_hop=1))
+        assert table.install(entry(seen_at=11, next_hop=2))
+        assert table.entry_for(9).next_hop == 2
+
+    def test_staler_rejected(self):
+        table = RoutingTable()
+        table.install(entry(seen_at=10))
+        assert not table.install(entry(seen_at=9, hops=1))
+        assert table.entry_for(9).gateway_seen_at == 10
+
+    def test_one_entry_per_gateway(self):
+        table = RoutingTable()
+        table.install(entry(gateway=8))
+        table.install(entry(gateway=9))
+        assert len(table) == 2
+
+    def test_expire(self):
+        table = RoutingTable(ttl=5)
+        table.install(entry(installed_at=10))
+        assert table.expire(now=14) == 0
+        assert table.expire(now=16) == 1
+        assert len(table) == 0
+
+    def test_no_ttl_never_expires(self):
+        table = RoutingTable(ttl=None)
+        table.install(entry(installed_at=0))
+        assert table.expire(now=10**6) == 0
+
+    def test_preference_order(self):
+        table = RoutingTable()
+        table.install(entry(gateway=7, seen_at=5, hops=2))
+        table.install(entry(gateway=8, seen_at=9, hops=6))
+        table.install(entry(gateway=9, seen_at=9, hops=1))
+        preferred = table.entries_by_preference()
+        assert [e.gateway for e in preferred] == [9, 8, 7]
+
+    def test_clear(self):
+        table = RoutingTable()
+        table.install(entry())
+        table.clear()
+        assert len(table) == 0
+
+
+class TestTableBank:
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            TableBank(0)
+
+    def test_per_node_tables(self):
+        bank = TableBank(3)
+        bank.table(0).install(entry())
+        assert len(bank.table(0)) == 1
+        assert len(bank.table(1)) == 0
+
+    def test_unknown_node(self):
+        with pytest.raises(RoutingError):
+            TableBank(3).table(5)
+
+    def test_expire_all(self):
+        bank = TableBank(2, ttl=5)
+        bank.table(0).install(entry(installed_at=0))
+        bank.table(1).install(entry(installed_at=8))
+        assert bank.expire_all(now=10) == 1
+        assert bank.total_entries() == 1

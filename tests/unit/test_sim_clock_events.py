@@ -1,0 +1,96 @@
+"""Unit tests for the simulation clock and event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_custom_start(self):
+        assert SimClock(5).now == 5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1)
+
+    def test_advance_default(self):
+        clock = SimClock()
+        assert clock.advance() == 1
+        assert clock.now == 1
+
+    def test_advance_multiple(self):
+        clock = SimClock()
+        clock.advance(10)
+        assert clock.now == 10
+
+    def test_advance_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(0)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-3)
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+        assert queue.pop_due(100) == []
+
+    def test_schedule_and_pop(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3, lambda: fired.append("a"))
+        assert queue.peek_time() == 3
+        assert queue.pop_due(2) == []
+        due = queue.pop_due(3)
+        assert len(due) == 1
+        due[0].fire()
+        assert fired == ["a"]
+        assert len(queue) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_ordering_by_time(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda: None, label="late")
+        queue.schedule(2, lambda: None, label="early")
+        due = queue.pop_due(10)
+        assert [e.label for e in due] == ["early", "late"]
+
+    def test_stable_order_for_simultaneous_events(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.schedule(1, lambda: None, label=f"e{index}")
+        assert [e.label for e in queue.pop_due(1)] == [f"e{i}" for i in range(5)]
+
+    def test_pop_due_leaves_future_events(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.schedule(9, lambda: None)
+        assert len(queue.pop_due(5)) == 1
+        assert queue.peek_time() == 9
+
+    def test_cancel(self):
+        queue = EventQueue()
+        event = queue.schedule(1, lambda: None, label="victim")
+        queue.schedule(1, lambda: None, label="survivor")
+        queue.cancel(event)
+        assert len(queue) == 1
+        assert [e.label for e in queue.pop_due(1)] == ["survivor"]
+
+    def test_cancelled_head_does_not_block_peek(self):
+        queue = EventQueue()
+        event = queue.schedule(1, lambda: None)
+        queue.schedule(4, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 4

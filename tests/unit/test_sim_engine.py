@@ -1,0 +1,170 @@
+"""Unit tests for the time-step engine, hooks, and trace recorder."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import StopSimulation, TimeStepEngine
+from repro.sim.hooks import HookRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestTimeStepEngine:
+    def test_processes_run_each_step(self):
+        engine = TimeStepEngine()
+        seen = []
+        engine.add_process(seen.append)
+        engine.run(3)
+        assert seen == [1, 2, 3]
+
+    def test_process_order_is_registration_order(self):
+        engine = TimeStepEngine()
+        order = []
+        engine.add_process(lambda t: order.append("a"))
+        engine.add_process(lambda t: order.append("b"))
+        engine.run(1)
+        assert order == ["a", "b"]
+
+    def test_stop_simulation_ends_run_early(self):
+        engine = TimeStepEngine()
+
+        def stopper(t):
+            if t == 2:
+                raise StopSimulation("done")
+
+        engine.add_process(stopper)
+        last = engine.run(10)
+        assert last == 2
+        assert engine.stop_reason == "done"
+
+    def test_run_returns_last_time(self):
+        engine = TimeStepEngine()
+        assert engine.run(5) == 5
+        assert engine.clock.now == 5
+
+    def test_run_twice_continues_clock(self):
+        engine = TimeStepEngine()
+        engine.run(2)
+        engine.run(2)
+        assert engine.clock.now == 4
+
+    def test_negative_max_steps_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeStepEngine().run(-1)
+
+    def test_scheduled_event_fires_before_processes(self):
+        engine = TimeStepEngine()
+        order = []
+        engine.schedule_at(2, lambda: order.append("event"))
+        engine.add_process(lambda t: order.append(f"step{t}"))
+        engine.run(3)
+        assert order == ["step1", "event", "step2", "step3"]
+
+    def test_schedule_in_relative(self):
+        engine = TimeStepEngine()
+        fired = []
+        engine.run(2)
+        engine.schedule_in(3, lambda: fired.append(engine.clock.now))
+        engine.run(5)
+        assert fired == [5]
+
+    def test_schedule_in_past_rejected(self):
+        engine = TimeStepEngine()
+        engine.run(5)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_hooks_fire(self):
+        engine = TimeStepEngine()
+        events = []
+        engine.hooks.subscribe("step_start", lambda time: events.append(("start", time)))
+        engine.hooks.subscribe("step_end", lambda time: events.append(("end", time)))
+        engine.hooks.subscribe(
+            "run_end", lambda time, reason: events.append(("run_end", reason))
+        )
+        engine.run(2)
+        assert events == [
+            ("start", 1),
+            ("end", 1),
+            ("start", 2),
+            ("end", 2),
+            ("run_end", "max_steps"),
+        ]
+
+    def test_run_end_reports_stop_reason(self):
+        engine = TimeStepEngine()
+        reasons = []
+        engine.hooks.subscribe("run_end", lambda time, reason: reasons.append(reason))
+
+        def stopper(t):
+            raise StopSimulation("why")
+
+        engine.add_process(stopper)
+        engine.run(5)
+        assert reasons == ["why"]
+
+
+class TestHookRegistry:
+    def test_fire_without_subscribers_is_noop(self):
+        HookRegistry().fire("nothing", x=1)
+
+    def test_subscribe_and_fire(self):
+        hooks = HookRegistry()
+        got = []
+        hooks.subscribe("h", lambda **kw: got.append(kw))
+        hooks.fire("h", a=1, b="x")
+        assert got == [{"a": 1, "b": "x"}]
+
+    def test_subscription_order_preserved(self):
+        hooks = HookRegistry()
+        order = []
+        hooks.subscribe("h", lambda: order.append(1))
+        hooks.subscribe("h", lambda: order.append(2))
+        hooks.fire("h")
+        assert order == [1, 2]
+
+    def test_unsubscribe(self):
+        hooks = HookRegistry()
+        callback = lambda: None  # noqa: E731
+        hooks.subscribe("h", callback)
+        assert hooks.subscriber_count("h") == 1
+        hooks.unsubscribe("h", callback)
+        assert hooks.subscriber_count("h") == 0
+
+    def test_unsubscribe_missing_is_noop(self):
+        HookRegistry().unsubscribe("h", lambda: None)
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        trace = TraceRecorder()
+        trace.record(1, "move", agent=0, to=5)
+        trace.record(2, "learn", agent=0)
+        assert len(trace) == 2
+        assert trace.events[0].payload == {"agent": 0, "to": 5}
+
+    def test_kind_filter(self):
+        trace = TraceRecorder(kinds={"move"})
+        trace.record(1, "move")
+        trace.record(1, "learn")
+        assert [e.kind for e in trace.events] == ["move"]
+
+    def test_of_kind(self):
+        trace = TraceRecorder()
+        trace.record(1, "a")
+        trace.record(2, "b")
+        trace.record(3, "a")
+        assert [e.time for e in trace.of_kind("a")] == [1, 3]
+
+    def test_max_events_drops_overflow(self):
+        trace = TraceRecorder(max_events=2)
+        for t in range(5):
+            trace.record(t, "x")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1, "x")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0

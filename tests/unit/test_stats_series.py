@@ -1,0 +1,95 @@
+"""Unit tests for run statistics and time-series utilities."""
+
+import pytest
+
+from repro.analysis.series import TimeSeries, average_series, converged_mean
+from repro.analysis.stats import RunSummary, confidence_interval, summarize
+from repro.errors import ExperimentError
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.count == 1
+        assert summary.ci95 == (5.0, 5.0)
+
+    def test_mean_std(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.std == pytest.approx(2.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+
+    def test_ci_contains_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low < 2.5 < high
+
+    def test_ci_narrows_with_more_data(self):
+        wide = summarize([0.0, 10.0] * 2)
+        narrow = summarize([0.0, 10.0] * 50)
+        assert (narrow.ci95[1] - narrow.ci95[0]) < (wide.ci95[1] - wide.ci95[0])
+
+    def test_format(self):
+        text = summarize([10.0, 20.0]).format("steps", digits=0)
+        assert "steps" in text
+        assert "[10..20]" in text
+
+
+class TestTimeSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries([1, 2], [0.5])
+
+    def test_value_at(self):
+        series = TimeSeries([1, 2, 3], [0.1, 0.2, 0.3])
+        assert series.value_at(2) == 0.2
+        with pytest.raises(ExperimentError):
+            series.value_at(9)
+
+    def test_window(self):
+        series = TimeSeries([1, 2, 3, 4], [0.1, 0.2, 0.3, 0.4])
+        window = series.window(2, 3)
+        assert window.times == [2, 3]
+        assert window.values == [0.2, 0.3]
+
+    def test_tail_mean(self):
+        series = TimeSeries([1, 2, 3, 4], [0.0, 0.0, 0.4, 0.6])
+        assert series.tail_mean(3) == pytest.approx(0.5)
+        assert converged_mean(series, 3) == pytest.approx(0.5)
+
+    def test_tail_mean_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries([1], [0.1]).tail_mean(5)
+
+
+class TestAverageSeries:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            average_series([])
+
+    def test_single_series_passthrough(self):
+        series = TimeSeries([1, 2], [0.5, 1.0])
+        averaged = average_series([series])
+        assert averaged.times == [1, 2]
+        assert averaged.values == [0.5, 1.0]
+
+    def test_pointwise_mean(self):
+        a = TimeSeries([1, 2], [0.0, 1.0])
+        b = TimeSeries([1, 2], [1.0, 0.0])
+        averaged = average_series([a, b])
+        assert averaged.values == [0.5, 0.5]
+
+    def test_short_series_carried_forward(self):
+        # A run that finished early holds its final value, like a mapping
+        # team sitting at knowledge 1.0 after finishing.
+        a = TimeSeries([1, 2], [0.5, 1.0])
+        b = TimeSeries([1, 2, 3, 4], [0.0, 0.0, 0.0, 0.0])
+        averaged = average_series([a, b])
+        assert averaged.times == [1, 2, 3, 4]
+        assert averaged.values == [0.25, 0.5, 0.5, 0.5]

@@ -1,0 +1,110 @@
+"""Unit tests for footprint boards and the stigmergy field."""
+
+import pytest
+
+from repro.core.stigmergy import FootprintBoard, StigmergyField
+from repro.errors import ConfigurationError
+
+
+class TestFootprintBoard:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FootprintBoard(capacity=0)
+        with pytest.raises(ConfigurationError):
+            FootprintBoard(freshness=0)
+
+    def test_stamp_and_targets(self):
+        board = FootprintBoard()
+        board.stamp(agent=1, target=7, time=3)
+        assert board.fresh_targets(now=3) == {7}
+        assert len(board) == 1
+
+    def test_latest_mark_per_agent(self):
+        board = FootprintBoard()
+        board.stamp(agent=1, target=7, time=3)
+        board.stamp(agent=1, target=9, time=5)
+        assert board.fresh_targets(now=5) == {9}
+        assert len(board) == 1
+
+    def test_multiple_agents(self):
+        board = FootprintBoard()
+        board.stamp(agent=1, target=7, time=3)
+        board.stamp(agent=2, target=8, time=4)
+        assert board.fresh_targets(now=4) == {7, 8}
+
+    def test_freshness_window(self):
+        board = FootprintBoard(freshness=5)
+        board.stamp(agent=1, target=7, time=0)
+        assert board.fresh_targets(now=4) == {7}
+        assert board.fresh_targets(now=5) == set()
+
+    def test_infinite_freshness(self):
+        board = FootprintBoard(freshness=None)
+        board.stamp(agent=1, target=7, time=0)
+        assert board.fresh_targets(now=10_000) == {7}
+
+    def test_capacity_evicts_oldest_agent_mark(self):
+        board = FootprintBoard(capacity=2)
+        board.stamp(agent=1, target=10, time=1)
+        board.stamp(agent=2, target=20, time=2)
+        board.stamp(agent=3, target=30, time=3)
+        assert board.fresh_targets(now=3) == {20, 30}
+
+    def test_fresh_marks_sorted_oldest_first(self):
+        board = FootprintBoard()
+        board.stamp(agent=2, target=20, time=5)
+        board.stamp(agent=1, target=10, time=2)
+        marks = board.fresh_marks(now=5)
+        assert [m.agent for m in marks] == [1, 2]
+
+    def test_clear(self):
+        board = FootprintBoard()
+        board.stamp(agent=1, target=7, time=3)
+        board.clear()
+        assert len(board) == 0
+
+
+class TestStigmergyField:
+    def test_lazy_boards(self):
+        field = StigmergyField()
+        assert field.total_marks() == 0
+        assert field.avoided_targets(5, now=1) == set()
+
+    def test_stamp_creates_board(self):
+        field = StigmergyField()
+        field.stamp(node=5, agent=1, target=9, time=2)
+        assert field.avoided_targets(5, now=2) == {9}
+        assert field.avoided_targets(6, now=2) == set()
+
+    def test_filter_removes_avoided(self):
+        field = StigmergyField()
+        field.stamp(node=0, agent=1, target=2, time=1)
+        assert field.filter_candidates(0, [1, 2, 3], now=1) == [1, 3]
+
+    def test_filter_falls_back_when_all_vetoed(self):
+        field = StigmergyField()
+        field.stamp(node=0, agent=1, target=1, time=1)
+        field.stamp(node=0, agent=2, target=2, time=1)
+        assert field.filter_candidates(0, [1, 2], now=1) == [1, 2]
+
+    def test_filter_no_marks_passthrough(self):
+        field = StigmergyField()
+        assert field.filter_candidates(0, [3, 1], now=5) == [3, 1]
+
+    def test_filter_respects_freshness(self):
+        field = StigmergyField(freshness=2)
+        field.stamp(node=0, agent=1, target=2, time=0)
+        assert field.filter_candidates(0, [1, 2], now=1) == [1]
+        assert field.filter_candidates(0, [1, 2], now=2) == [1, 2]
+
+    def test_configuration_propagates_to_boards(self):
+        field = StigmergyField(capacity=1, freshness=3)
+        board = field.board(0)
+        assert board.capacity == 1
+        assert board.freshness == 3
+
+    def test_clear(self):
+        field = StigmergyField()
+        field.stamp(node=0, agent=1, target=2, time=1)
+        field.clear()
+        assert field.total_marks() == 0

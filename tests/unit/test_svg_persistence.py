@@ -1,0 +1,107 @@
+"""Unit tests for SVG rendering and report persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.series import TimeSeries
+from repro.analysis.svg_plot import svg_plot
+from repro.errors import ExperimentError
+from repro.experiments.persistence import (
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+    save_svg,
+)
+from repro.experiments.report import ExperimentReport
+
+
+def sample_report(with_series=True):
+    report = ExperimentReport(
+        experiment_id="figX",
+        title="sample",
+        paper_claim="a < b",
+        columns=["variant", "value"],
+        y_label="knowledge",
+    )
+    report.add_row("a", 1)
+    report.add_row("b", 2)
+    report.add_note("gap is 1")
+    if with_series:
+        report.series["a"] = TimeSeries([1, 2, 3], [0.1, 0.5, 1.0])
+        report.series["b"] = TimeSeries([1, 2, 3], [0.2, 0.4, 0.8])
+    return report
+
+
+class TestSvgPlot:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            svg_plot({})
+
+    def test_valid_document(self):
+        text = svg_plot({"curve": TimeSeries([0, 10], [0.0, 1.0])}, title="t")
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert "<polyline" in text
+        assert "t</text>" in text
+
+    def test_one_polyline_per_series(self):
+        report = sample_report()
+        text = svg_plot(report.series)
+        assert text.count("<polyline") == 2
+
+    def test_escapes_markup(self):
+        text = svg_plot(
+            {"a<b&c": TimeSeries([0, 1], [0.0, 1.0])}, title="x<y"
+        )
+        assert "a&lt;b&amp;c" in text
+        assert "x&lt;y" in text
+
+    def test_constant_series_ok(self):
+        text = svg_plot({"flat": TimeSeries([0, 5], [0.5, 0.5])})
+        assert "<polyline" in text
+
+
+class TestReportRoundTrip:
+    def test_dict_round_trip(self):
+        report = sample_report()
+        clone = report_from_dict(report_to_dict(report))
+        assert clone.render() == report.render()
+
+    def test_dict_is_json_safe(self):
+        json.dumps(report_to_dict(sample_report()))
+
+    def test_schema_version_checked(self):
+        payload = report_to_dict(sample_report())
+        payload["schema"] = 999
+        with pytest.raises(ExperimentError):
+            report_from_dict(payload)
+
+    def test_save_and_load(self, tmp_path):
+        report = sample_report()
+        path = save_report(report, tmp_path)
+        assert path.name == "figX.json"
+        loaded = load_report(path)
+        assert loaded.render() == report.render()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_report(tmp_path / "nope.json")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_report(path)
+
+
+class TestSaveSvg:
+    def test_writes_svg_for_series(self, tmp_path):
+        path = save_svg(sample_report(), tmp_path)
+        assert path.name == "figX.svg"
+        assert path.read_text().startswith("<svg")
+
+    def test_table_only_report_skipped(self, tmp_path):
+        assert save_svg(sample_report(with_series=False), tmp_path) is None
+        assert list(tmp_path.iterdir()) == []
