@@ -72,6 +72,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan (variant, run) pairs over N processes (results identical)",
     )
+    run.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the number of seeded repetitions at this scale",
+    )
+    run.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help=(
+            "inject a fault plan into every variant, e.g. "
+            "'crash@20:3;recover@40:3;policy=respawn' (see repro.faults.plan)"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "journal completed (variant, run) results under DIR; re-running "
+            "the same command resumes an interrupted sweep"
+        ),
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-task deadline for pooled runs; overdue tasks are retried "
+            "(also detects crashed workers)"
+        ),
+    )
+    run.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="how many times a failed or overdue task is retried (default 1)",
+    )
 
     report = commands.add_parser(
         "report", help="re-render archived JSON reports without re-running"
@@ -100,15 +140,29 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments import runner
+
     scale = PAPER if args.paper_scale else QUICK
+    if args.runs is not None:
+        if args.runs < 1:
+            raise ReproError(f"--runs must be >= 1, got {args.runs}")
+        scale = dataclasses.replace(scale, runs=args.runs)
     if args.experiment == "all":
         ids = [e.experiment_id for e in list_experiments()]
     else:
         ids = [args.experiment]
     if getattr(args, "workers", 1) > 1:
-        from repro.experiments.runner import set_default_workers
+        runner.set_default_workers(args.workers)
+    if args.faults:
+        from repro.faults.plan import parse_fault_plan
 
-        set_default_workers(args.workers)
+        runner.set_default_fault_plan(parse_fault_plan(args.faults))
+    if args.checkpoint_dir:
+        runner.set_default_checkpoint_dir(args.checkpoint_dir)
+    if args.task_timeout is not None or args.task_retries is not None:
+        runner.set_task_limits(args.task_timeout, args.task_retries)
     progress = _progress_printer(args.quiet)
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)

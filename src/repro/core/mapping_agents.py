@@ -110,6 +110,16 @@ class MappingAgent:
         """Commit the move chosen this step."""
         self.location = target
 
+    def reset_for_respawn(self, start: NodeId, time: Time) -> None:
+        """Restart this agent fresh at ``start`` after its node crashed.
+
+        The map it carried died with the host node, so a respawned
+        mapping agent begins with empty knowledge.
+        """
+        del time  # mapping knowledge is re-observed, not time-stamped here
+        self.location = start
+        self.knowledge = TopologyKnowledge()
+
     # -- policy ----------------------------------------------------------
 
     def _pick(self, candidates: List[NodeId]) -> NodeId:

@@ -76,6 +76,23 @@ class PheromoneField:
         for node in empty_nodes:
             del self._trails[node]
 
+    def clear_node(self, node: NodeId) -> int:
+        """Drop all trail state touching ``node`` (it crashed).
+
+        Removes the node's own trails and every other node's trail
+        pointing at it; returns how many trails were dropped.
+        """
+        removed = len(self._trails.pop(node, {}))
+        empty_nodes = []
+        for owner, trails in self._trails.items():
+            if trails.pop(node, None) is not None:
+                removed += 1
+            if not trails:
+                empty_nodes.append(owner)
+        for owner in empty_nodes:
+            del self._trails[owner]
+        return removed
+
     def total(self) -> float:
         """Sum of all deposited (non-baseline) strength — diagnostics."""
         return sum(sum(trails.values()) for trails in self._trails.values())

@@ -165,6 +165,18 @@ class RoutingAgent:
             self.tracks[self.location] = GatewayTrack(hops=0, visited_at=time)
         self.history.record(self.location, time)
 
+    def reset_for_respawn(self, start: NodeId, time: Time) -> None:
+        """Restart this agent fresh at ``start`` after its node crashed.
+
+        A respawned agent is a new process on a surviving node: gateway
+        tracks and visit history died with the host, so carrying them
+        across the teleport would fabricate routes no walk ever took.
+        """
+        self.location = start
+        self.tracks = {}
+        self.history = VisitHistory(self.history_size)
+        self.history.record(start, time)
+
     def installable_routes(self, came_from: NodeId) -> List:
         """Route entries to install at the current node after a move.
 

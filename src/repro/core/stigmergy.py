@@ -148,6 +148,14 @@ class StigmergyField:
         filtered = [candidate for candidate in ordered if candidate not in avoided]
         return filtered if filtered else ordered
 
+    def clear_board(self, node: NodeId) -> int:
+        """Wipe the board on ``node`` (a crashed node loses its marks).
+
+        Returns how many marks were dropped.
+        """
+        existing = self._boards.pop(node, None)
+        return len(existing) if existing is not None else 0
+
     def total_marks(self) -> int:
         """Total marks across every board (diagnostics)."""
         return sum(len(board) for board in self._boards.values())

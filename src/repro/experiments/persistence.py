@@ -1,26 +1,50 @@
-"""Saving and loading experiment reports.
+"""Saving and loading experiment reports and sweep checkpoints.
 
 Reports serialize to plain JSON so paper-scale results can be archived,
 diffed across library versions, and re-rendered without re-running the
 (minutes-long) simulations.  The CLI exposes this via
 ``repro run figN --json-dir DIR --svg-dir DIR``.
+
+The same JSON-safe forms back :class:`SweepCheckpoint`: an append-only
+JSONL journal of completed ``(variant, run)`` results.  A paper-scale
+sweep killed halfway (crash, timeout, Ctrl-C) re-runs the same command
+and resumes from the journal instead of restarting — the runner skips
+every task the journal already holds.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
-from typing import Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.analysis.series import TimeSeries
 from repro.analysis.svg_plot import svg_plot
 from repro.errors import ExperimentError
 from repro.experiments.report import ExperimentReport
+from repro.faults.metrics import ResilienceReport
+from repro.mapping.world import MappingResult
+from repro.routing.world import RoutingResult
 
-__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report", "save_svg"]
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "save_report",
+    "load_report",
+    "save_svg",
+    "mapping_result_to_dict",
+    "mapping_result_from_dict",
+    "routing_result_to_dict",
+    "routing_result_from_dict",
+    "SweepCheckpoint",
+]
 
 #: bumped when the on-disk layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: bumped when the checkpoint-journal layout changes incompatibly.
+CHECKPOINT_SCHEMA = 1
 
 
 def report_to_dict(report: ExperimentReport) -> dict:
@@ -100,3 +124,153 @@ def save_svg(report: ExperimentReport, directory: Union[str, pathlib.Path]) -> U
         )
     )
     return path
+
+
+# ----------------------------------------------------------------------
+# Per-run result serialization (checkpoint journal entries)
+# ----------------------------------------------------------------------
+
+
+def _resilience_to_dict(report: Optional[ResilienceReport]) -> Optional[dict]:
+    return dataclasses.asdict(report) if report is not None else None
+
+
+def _resilience_from_dict(payload: Optional[dict]) -> Optional[ResilienceReport]:
+    return ResilienceReport(**payload) if payload is not None else None
+
+
+def mapping_result_to_dict(result: MappingResult) -> dict:
+    """The JSON-safe form of one mapping run's outcome."""
+    return {
+        "finishing_time": result.finishing_time,
+        "steps_simulated": result.steps_simulated,
+        "times": list(result.times),
+        "average_knowledge": list(result.average_knowledge),
+        "minimum_knowledge": list(result.minimum_knowledge),
+        "meetings": result.meetings,
+        "overhead": dict(result.overhead),
+        "resilience": _resilience_to_dict(result.resilience),
+    }
+
+
+def mapping_result_from_dict(payload: dict) -> MappingResult:
+    """Rebuild a :class:`MappingResult` from its JSON-safe form."""
+    return MappingResult(
+        finishing_time=payload["finishing_time"],
+        steps_simulated=payload["steps_simulated"],
+        times=list(payload["times"]),
+        average_knowledge=[float(v) for v in payload["average_knowledge"]],
+        minimum_knowledge=[float(v) for v in payload["minimum_knowledge"]],
+        meetings=payload["meetings"],
+        overhead={k: float(v) for k, v in payload["overhead"].items()},
+        resilience=_resilience_from_dict(payload.get("resilience")),
+    )
+
+
+def routing_result_to_dict(result: RoutingResult) -> dict:
+    """The JSON-safe form of one routing run's outcome."""
+    return {
+        "times": list(result.times),
+        "connectivity": list(result.connectivity),
+        "converged_after": result.converged_after,
+        "meetings": result.meetings,
+        "overhead": dict(result.overhead),
+        "resilience": _resilience_to_dict(result.resilience),
+    }
+
+
+def routing_result_from_dict(payload: dict) -> RoutingResult:
+    """Rebuild a :class:`RoutingResult` from its JSON-safe form."""
+    return RoutingResult(
+        times=list(payload["times"]),
+        connectivity=[float(v) for v in payload["connectivity"]],
+        converged_after=payload["converged_after"],
+        meetings=payload["meetings"],
+        overhead={k: float(v) for k, v in payload["overhead"].items()},
+        resilience=_resilience_from_dict(payload.get("resilience")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpoints
+# ----------------------------------------------------------------------
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed ``(variant, run)`` results.
+
+    Line 1 is a header carrying the sweep fingerprint (a hash of the
+    scenario, master seed, generator config and every variant config);
+    each further line is one completed task.  Appends are flushed
+    immediately, so a sweep killed mid-run loses at most the task being
+    written.  A truncated trailing line (the kill landed mid-write) is
+    tolerated and dropped on load.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path], scenario: str, fingerprint: str) -> None:
+        self.path = pathlib.Path(path)
+        self.scenario = scenario
+        self.fingerprint = fingerprint
+        self._results: Dict[Tuple[str, int], dict] = {}
+        if self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append(
+                {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "scenario": scenario,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            raise ExperimentError(f"checkpoint {self.path} is empty; delete it to restart")
+        header = self._parse(lines[0])
+        if header is None or header.get("schema") != CHECKPOINT_SCHEMA:
+            raise ExperimentError(
+                f"checkpoint {self.path} has an unsupported header; delete it to restart"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ExperimentError(
+                f"checkpoint {self.path} belongs to a different sweep "
+                "(configs or seed changed); delete it to restart"
+            )
+        for line in lines[1:]:
+            entry = self._parse(line)
+            if entry is None:
+                continue  # killed mid-write; drop the torn line
+            self._results[(entry["name"], entry["run_index"])] = entry["result"]
+
+    @staticmethod
+    def _parse(line: str) -> Optional[dict]:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _append(self, payload: dict) -> None:
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def result_payload(self, name: str, run_index: int) -> dict:
+        """The stored JSON-safe result for one completed task."""
+        return self._results[(name, run_index)]
+
+    def record(self, name: str, run_index: int, result_payload: dict) -> None:
+        """Journal one completed task (idempotent per key)."""
+        key = (name, run_index)
+        if key in self._results:
+            return
+        self._results[key] = result_payload
+        self._append({"name": name, "run_index": run_index, "result": result_payload})

@@ -68,6 +68,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                routing_experiments.ext1),
         _entry("ext2", "extension: attractive pheromone vs repulsive footprints",
                "routing", routing_experiments.ext2),
+        _entry("faults1", "resilience under node churn and a gateway outage",
+               "routing", routing_experiments.faults1),
         _entry("abl1", "ablation: footprint freshness window", "mapping",
                mapping_experiments.abl1),
         _entry("abl2", "ablation: symmetric vs directed environment", "mapping",

@@ -15,19 +15,48 @@ Static mapping topologies are cached per ``(generator config, seed)``
 because they are immutable during default runs and expensive to
 generate; MANETs mutate every step, so they are regenerated per variant
 and repetition from the same seed (which reproduces the identical
-placement and movement paths).
+placement and movement paths).  Faulted mapping runs bypass the cache —
+a crash mutates the topology, which must never leak between runs.
+
+The runner is hardened for paper-scale sweeps:
+
+* a per-task **timeout** with bounded **retry** (``task_timeout`` /
+  ``task_retries``).  In pool mode the timeout doubles as crash
+  detection: ``multiprocessing.Pool`` respawns a worker that dies hard
+  (segfault, ``os._exit``) but silently never completes the job it was
+  carrying, so an overdue task is abandoned and resubmitted;
+* permanent failures are collected, not fatal mid-sweep — every other
+  task still completes and is reported before :class:`ExperimentError`
+  is raised;
+* optional **checkpointing** (``checkpoint_dir``): completed
+  ``(variant, run)`` results are journalled through
+  :class:`~repro.experiments.persistence.SweepCheckpoint`, so a killed
+  sweep re-run with the same command resumes instead of restarting.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import multiprocessing
+import pathlib
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.analysis.series import TimeSeries, average_series
 from repro.analysis.stats import RunSummary, summarize
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.config import DEFAULT_MASTER_SEED
+from repro.experiments.persistence import (
+    SweepCheckpoint,
+    mapping_result_from_dict,
+    mapping_result_to_dict,
+    routing_result_from_dict,
+    routing_result_to_dict,
+)
+from repro.faults.plan import FaultPlan
 from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig
 from repro.net.generator import GeneratorConfig, NetworkGenerator
 from repro.net.topology import Topology
@@ -40,9 +69,17 @@ __all__ = [
     "run_mapping_variants",
     "run_routing_variants",
     "clear_topology_cache",
+    "set_default_workers",
+    "set_default_fault_plan",
+    "set_default_checkpoint_dir",
+    "set_task_limits",
 ]
 
-_topology_cache: Dict = {}
+#: most static topologies kept alive at once; a sweep touches one or two,
+#: so a small LRU bounds memory without ever evicting the working set.
+TOPOLOGY_CACHE_LIMIT = 8
+
+_topology_cache: "OrderedDict[Tuple[GeneratorConfig, int], Topology]" = OrderedDict()
 
 
 def clear_topology_cache() -> None:
@@ -51,7 +88,7 @@ def clear_topology_cache() -> None:
 
 
 def _static_topology(config: GeneratorConfig, seed: int, reusable: bool) -> Topology:
-    """A static mapping network, cached when it will not be mutated."""
+    """A static mapping network, cached (LRU) when it will not be mutated."""
     if not reusable:
         return NetworkGenerator(config, seed).generate_static()
     key = (config, seed)
@@ -59,6 +96,10 @@ def _static_topology(config: GeneratorConfig, seed: int, reusable: bool) -> Topo
     if topology is None:
         topology = NetworkGenerator(config, seed).generate_static()
         _topology_cache[key] = topology
+        while len(_topology_cache) > TOPOLOGY_CACHE_LIMIT:
+            _topology_cache.popitem(last=False)
+    else:
+        _topology_cache.move_to_end(key)
     return topology
 
 
@@ -122,10 +163,25 @@ class RoutingVariantResult:
 
 ProgressCallback = Callable[[str, int, int], None]
 
+#: how often the pool loop checks for finished or overdue tasks.
+_POLL_INTERVAL = 0.02
 
 #: process-pool size used when a call does not pass ``workers`` —
 #: set by the CLI's ``--workers`` flag via :func:`set_default_workers`.
 _default_workers = 1
+
+#: fault plan applied to every variant that has none of its own —
+#: set by the CLI's ``--faults`` flag via :func:`set_default_fault_plan`.
+_default_fault_plan: Optional[FaultPlan] = None
+
+#: where sweep checkpoints live when a call does not pass
+#: ``checkpoint_dir`` — set by the CLI's ``--checkpoint-dir`` flag.
+_default_checkpoint_dir: Optional[pathlib.Path] = None
+
+#: per-task deadline in seconds (``None`` = unlimited) and how many
+#: retries a failed or overdue task gets before counting as permanent.
+_default_task_timeout: Optional[float] = None
+_default_task_retries = 1
 
 
 def set_default_workers(workers: int) -> None:
@@ -134,6 +190,36 @@ def set_default_workers(workers: int) -> None:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     global _default_workers
     _default_workers = workers
+
+
+def set_default_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Set the fault plan injected into variants that carry none.
+
+    The CLI's ``repro run <fig> --faults PLAN`` routes through here so
+    every registry experiment can be stressed without a bespoke flag.
+    """
+    global _default_fault_plan
+    _default_fault_plan = plan
+
+
+def set_default_checkpoint_dir(directory: Union[str, pathlib.Path, None]) -> None:
+    """Set the checkpoint directory used when a call passes none."""
+    global _default_checkpoint_dir
+    _default_checkpoint_dir = None if directory is None else pathlib.Path(directory)
+
+
+def set_task_limits(
+    timeout: Optional[float] = None, retries: Optional[int] = None
+) -> None:
+    """Set the default per-task timeout (seconds) and retry budget."""
+    global _default_task_timeout, _default_task_retries
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"task timeout must be > 0, got {timeout}")
+    if retries is not None and retries < 0:
+        raise ConfigurationError(f"task retries must be >= 0, got {retries}")
+    _default_task_timeout = timeout
+    if retries is not None:
+        _default_task_retries = retries
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -146,12 +232,81 @@ def _resolve_workers(workers: Optional[int]) -> int:
     return min(workers, max(2, multiprocessing.cpu_count()))
 
 
+def _resolve_limits(
+    timeout: Optional[float], retries: Optional[int]
+) -> Tuple[Optional[float], int]:
+    if timeout is None:
+        timeout = _default_task_timeout
+    if retries is None:
+        retries = _default_task_retries
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"task timeout must be > 0, got {timeout}")
+    if retries < 0:
+        raise ConfigurationError(f"task retries must be >= 0, got {retries}")
+    return timeout, retries
+
+
+def _with_default_fault_plan(
+    variants: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Apply the module-default fault plan to variants that carry none."""
+    plan = _default_fault_plan
+    if plan is None:
+        return variants
+    return {
+        name: config
+        if config.fault_plan is not None
+        else dataclasses.replace(config, fault_plan=plan)
+        for name, config in variants.items()
+    }
+
+
+def _sweep_fingerprint(
+    scenario: str,
+    master_seed: int,
+    generator_config: GeneratorConfig,
+    variants: Dict[str, Any],
+) -> str:
+    """A stable hash of everything that decides a task's outcome.
+
+    ``runs`` is deliberately excluded: run seeds depend only on the run
+    index, so the checkpoint of an interrupted ``runs=2`` sweep validly
+    seeds a later ``runs=3`` one.
+    """
+    payload = repr(
+        (
+            scenario,
+            master_seed,
+            generator_config,
+            sorted((name, repr(config)) for name, config in variants.items()),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _open_checkpoint(
+    checkpoint_dir: Union[str, pathlib.Path, None],
+    scenario: str,
+    master_seed: int,
+    generator_config: GeneratorConfig,
+    variants: Dict[str, Any],
+) -> Optional[SweepCheckpoint]:
+    directory = checkpoint_dir if checkpoint_dir is not None else _default_checkpoint_dir
+    if directory is None:
+        return None
+    fingerprint = _sweep_fingerprint(scenario, master_seed, generator_config, variants)
+    path = pathlib.Path(directory) / f"{scenario}-{fingerprint}.jsonl"
+    return SweepCheckpoint(path, scenario, fingerprint)
+
+
 def _mapping_task(
     task: Tuple[str, GeneratorConfig, MappingWorldConfig, int, int, int]
 ) -> Tuple[str, int, MappingResult]:
     """One (variant, run) mapping execution — top-level for pickling."""
     name, generator_config, world_config, network_seed, world_seed, run_index = task
-    reusable = world_config.degrade_at is None
+    # Degradation *and* fault plans mutate the topology mid-run; such
+    # runs must build their own copy, never a shared cached one.
+    reusable = world_config.degrade_at is None and world_config.fault_plan is None
     topology = _static_topology(generator_config, network_seed, reusable)
     result = MappingWorld(topology, world_config, world_seed).run()
     return name, run_index, result
@@ -167,27 +322,160 @@ def _routing_task(
     return name, run_index, result
 
 
-def _run_tasks(tasks, task_fn, workers, progress, scenario):
+def _describe_task(task: Tuple) -> str:
+    return f"{task[0]!r} run {task[5]}"
+
+
+def _serial_results(
+    tasks: List[Tuple],
+    task_fn: Callable,
+    retries: int,
+    failures: List[Tuple[Tuple, str]],
+) -> Iterator[Tuple[str, int, Any]]:
+    """Run tasks in-process; exceptions retry, then collect as failures."""
+    for task in tasks:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                yield task_fn(task)
+                break
+            except Exception as error:  # noqa: BLE001 - isolate one bad task
+                if attempt <= retries:
+                    continue
+                failures.append((task, f"{type(error).__name__}: {error}"))
+                break
+
+
+@dataclass
+class _Pending:
+    """One in-flight pool task plus its deadline and attempt count."""
+
+    task: Tuple
+    handle: Any  # multiprocessing.pool.AsyncResult
+    attempt: int
+    deadline: Optional[float]
+
+
+def _pool_results(
+    tasks: List[Tuple],
+    task_fn: Callable,
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    failures: List[Tuple[Tuple, str]],
+) -> Iterator[Tuple[str, int, Any]]:
+    """Run tasks on a pool with per-task deadlines and bounded retries.
+
+    ``apply_async`` + polling instead of ``imap_unordered`` because the
+    latter cannot time out a single task.  An overdue handle is
+    abandoned: either the task is genuinely slow (its stale result will
+    be ignored) or its worker died hard — ``Pool`` respawns the process
+    but never finishes the job, so the deadline is also the crash
+    detector.  One poisoned task can therefore no longer sink the sweep.
+    """
+
+    def submit(pool: Any, task: Tuple, attempt: int) -> _Pending:
+        handle = pool.apply_async(task_fn, (task,))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        return _Pending(task, handle, attempt, deadline)
+
+    with multiprocessing.Pool(workers) as pool:
+        pending = [submit(pool, task, 1) for task in tasks]
+        while pending:
+            progressed = False
+            still: List[_Pending] = []
+            for item in pending:
+                if item.handle.ready():
+                    progressed = True
+                    try:
+                        yield item.handle.get()
+                    except Exception as error:  # noqa: BLE001 - isolate task
+                        if item.attempt <= retries:
+                            still.append(submit(pool, item.task, item.attempt + 1))
+                        else:
+                            failures.append(
+                                (item.task, f"{type(error).__name__}: {error}")
+                            )
+                elif item.deadline is not None and time.monotonic() >= item.deadline:
+                    progressed = True
+                    if item.attempt <= retries:
+                        still.append(submit(pool, item.task, item.attempt + 1))
+                    else:
+                        failures.append(
+                            (
+                                item.task,
+                                f"no result within {timeout:g}s after "
+                                f"{item.attempt} attempt(s) (slow, hung, "
+                                "or its worker crashed)",
+                            )
+                        )
+                else:
+                    still.append(item)
+            pending = still
+            if pending and not progressed:
+                time.sleep(_POLL_INTERVAL)
+
+
+def _run_tasks(
+    tasks: List[Tuple],
+    task_fn: Callable,
+    workers: int,
+    progress: Optional[ProgressCallback],
+    scenario: str,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    to_dict: Optional[Callable[[Any], dict]] = None,
+    from_dict: Optional[Callable[[dict], Any]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> Iterator[Tuple[str, int, Any]]:
     """Execute tasks serially or in a pool; yield completed triples.
 
-    Results are collected unordered from the pool and re-sorted by the
-    caller, so parallel runs are bit-identical to serial ones.
+    Results are collected unordered and re-sorted by the caller, so
+    parallel runs are bit-identical to serial ones.  Checkpointed tasks
+    are served from the journal without running; fresh completions are
+    journalled before being yielded.  Permanent failures raise
+    :class:`ExperimentError` only after every other task finished, so
+    completed work survives a partially poisoned sweep.
     """
     completed = 0
     total = len(tasks)
+
+    def emit(name: str, run_index: int, result: Any) -> Tuple[str, int, Any]:
+        nonlocal completed
+        completed += 1
+        if progress is not None:
+            progress(scenario, completed, total)
+        return name, run_index, result
+
+    fresh: List[Tuple] = []
+    for task in tasks:
+        name, run_index = task[0], task[5]
+        if checkpoint is not None and (name, run_index) in checkpoint:
+            payload = checkpoint.result_payload(name, run_index)
+            yield emit(name, run_index, from_dict(payload))
+        else:
+            fresh.append(task)
+
+    failures: List[Tuple[Tuple, str]] = []
     if workers <= 1:
-        for task in tasks:
-            yield task_fn(task)
-            completed += 1
-            if progress is not None:
-                progress(scenario, completed, total)
-        return
-    with multiprocessing.Pool(workers) as pool:
-        for outcome in pool.imap_unordered(task_fn, tasks):
-            yield outcome
-            completed += 1
-            if progress is not None:
-                progress(scenario, completed, total)
+        source = _serial_results(fresh, task_fn, retries, failures)
+    else:
+        source = _pool_results(fresh, task_fn, workers, timeout, retries, failures)
+    for name, run_index, result in source:
+        if checkpoint is not None:
+            checkpoint.record(name, run_index, to_dict(result))
+        yield emit(name, run_index, result)
+
+    if failures:
+        kept = "completed runs were kept"
+        if checkpoint is not None:
+            kept += " and checkpointed"
+        details = "; ".join(f"{_describe_task(task)}: {why}" for task, why in failures)
+        raise ExperimentError(
+            f"{len(failures)} of {total} {scenario} task(s) failed permanently "
+            f"({kept}): {details}"
+        )
 
 
 def run_mapping_variants(
@@ -197,12 +485,22 @@ def run_mapping_variants(
     master_seed: int = DEFAULT_MASTER_SEED,
     progress: Optional[ProgressCallback] = None,
     workers: Optional[int] = None,
+    checkpoint_dir: Union[str, pathlib.Path, None] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: Optional[int] = None,
 ) -> Dict[str, MappingVariantResult]:
     """Run every mapping variant ``runs`` times on the shared network.
 
     ``workers > 1`` fans the (variant, run) grid over a process pool;
     results are identical to a serial run (everything is seed-driven).
+    ``checkpoint_dir`` journals completed runs so an interrupted sweep
+    resumes; ``task_timeout``/``task_retries`` bound each task.
     """
+    variants = _with_default_fault_plan(variants)
+    timeout, retries = _resolve_limits(task_timeout, task_retries)
+    checkpoint = _open_checkpoint(
+        checkpoint_dir, "mapping", master_seed, generator_config, variants
+    )
     network_seed = derive_seed(master_seed, "mapping-net")
     tasks = [
         (
@@ -221,7 +519,16 @@ def run_mapping_variants(
     }
     pool_size = _resolve_workers(workers)
     for name, run_index, result in _run_tasks(
-        tasks, _mapping_task, pool_size, progress, "mapping"
+        tasks,
+        _mapping_task,
+        pool_size,
+        progress,
+        "mapping",
+        checkpoint=checkpoint,
+        to_dict=mapping_result_to_dict,
+        from_dict=mapping_result_from_dict,
+        timeout=timeout,
+        retries=retries,
     ):
         collected[name].append((run_index, result))
     outcomes = {}
@@ -242,13 +549,22 @@ def run_routing_variants(
     master_seed: int = DEFAULT_MASTER_SEED,
     progress: Optional[ProgressCallback] = None,
     workers: Optional[int] = None,
+    checkpoint_dir: Union[str, pathlib.Path, None] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: Optional[int] = None,
 ) -> Dict[str, RoutingVariantResult]:
     """Run every routing variant ``runs`` times on the shared MANET.
 
     MANETs mutate as they run; rebuilding from the same seed reproduces
     the identical placement and movement paths in every variant, run and
-    worker process.
+    worker process.  Hardening knobs are as in
+    :func:`run_mapping_variants`.
     """
+    variants = _with_default_fault_plan(variants)
+    timeout, retries = _resolve_limits(task_timeout, task_retries)
+    checkpoint = _open_checkpoint(
+        checkpoint_dir, "routing", master_seed, generator_config, variants
+    )
     network_seed = derive_seed(master_seed, "routing-net")
     tasks = [
         (
@@ -267,7 +583,16 @@ def run_routing_variants(
     }
     pool_size = _resolve_workers(workers)
     for name, run_index, result in _run_tasks(
-        tasks, _routing_task, pool_size, progress, "routing"
+        tasks,
+        _routing_task,
+        pool_size,
+        progress,
+        "routing",
+        checkpoint=checkpoint,
+        to_dict=routing_result_to_dict,
+        from_dict=routing_result_from_dict,
+        timeout=timeout,
+        retries=retries,
     ):
         collected[name].append((run_index, result))
     outcomes = {}

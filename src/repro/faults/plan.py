@@ -1,0 +1,345 @@
+"""Fault plans: immutable, seeded schedules of failure events.
+
+A :class:`FaultPlan` is data, not behaviour: a tuple of
+:class:`FaultEvent` rows plus an agent-respawn policy.  Keeping it a
+frozen, hashable value type means it can ride inside the (also frozen)
+world configs, pickle across ``multiprocessing`` workers unchanged, and
+key caches — which is what makes fault runs bit-identical between
+serial and parallel sweeps.
+
+Plans come from three places:
+
+* the builder API — ``FaultPlan().crash(50, 3).recover(80, 3)``,
+* the compact spec DSL — ``parse_fault_plan("crash@50:3;recover@80:3")``
+  (what the CLI's ``--faults`` flag accepts),
+* the churn generator — :meth:`FaultPlan.random_churn`, which derives a
+  reproducible crash/recover schedule from a master seed via
+  :func:`repro.rng.derive_seed`.
+
+Spec grammar (events separated by ``;``)::
+
+    kind@time:target[:amount]
+
+    crash@50:3        node 3 crashes at step 50
+    crash@50:gw0      the first gateway crashes (gateway outage)
+    recover@80:3      node 3 (or gw0) comes back
+    blackout@40:2-7   directed link 2->7 goes dark
+    restore@60:2-7    the link comes back
+    shock@30:5:0.5    node 5 instantly loses 50% of its battery
+    kill@25:a3        agent 3 is killed
+    wipe@90:4         node 4's routing table is wiped
+    corrupt@90:4      node 4's next hops are scrambled
+
+    policy=respawn    (anywhere in the spec) respawn policy for agents
+                      whose node crashes: die | respawn | freeze
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed
+from repro.types import Time
+
+__all__ = [
+    "FAULT_KINDS",
+    "AGENT_POLICIES",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_fault_plan",
+]
+
+#: Every supported fault action.
+FAULT_KINDS = frozenset(
+    {"crash", "recover", "blackout", "restore", "shock", "kill", "wipe", "corrupt"}
+)
+
+#: What happens to agents standing on a node when it crashes:
+#: ``die`` — gone for the rest of the run; ``respawn`` — restart fresh
+#: on a random live node; ``freeze`` — survive in place, suspended until
+#: the node recovers.
+AGENT_POLICIES = ("die", "respawn", "freeze")
+
+#: Kinds whose target is a single node id (or ``gwK``).
+_NODE_KINDS = frozenset({"crash", "recover", "shock", "wipe", "corrupt"})
+#: Kinds whose target is a directed edge ``u-v``.
+_EDGE_KINDS = frozenset({"blackout", "restore"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure: what happens, when, and to whom.
+
+    ``target`` is a tuple of ids — one node id for node faults, an
+    ``(source, destination)`` pair for link faults, one agent id for
+    kills.  ``gateway_relative`` flips the node id to an index into the
+    topology's gateway list, resolved at injection time, so a plan can
+    say "the first gateway" without knowing the generated network.
+    """
+
+    time: Time
+    kind: str
+    target: Tuple[int, ...]
+    amount: float = 0.0
+    gateway_relative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {sorted(FAULT_KINDS)}"
+            )
+        if self.time < 1:
+            raise ConfigurationError(
+                f"fault time must be >= 1 (the engine schedules ahead), got {self.time}"
+            )
+        expected = 2 if self.kind in _EDGE_KINDS else 1
+        if len(self.target) != expected:
+            raise ConfigurationError(
+                f"{self.kind} takes {expected} target id(s), got {self.target!r}"
+            )
+        if any(t < 0 for t in self.target):
+            raise ConfigurationError(f"target ids must be >= 0, got {self.target!r}")
+        if self.gateway_relative and self.kind not in _NODE_KINDS:
+            raise ConfigurationError(
+                f"gateway-relative targets only apply to node faults, not {self.kind!r}"
+            )
+        if self.kind == "shock" and not 0.0 < self.amount <= 1.0:
+            raise ConfigurationError(
+                f"shock amount must be in (0, 1], got {self.amount}"
+            )
+
+    def describe(self) -> str:
+        """Compact human-readable form (mirrors the spec DSL)."""
+        if self.kind in _EDGE_KINDS:
+            target = f"{self.target[0]}-{self.target[1]}"
+        elif self.kind == "kill":
+            target = f"a{self.target[0]}"
+        elif self.gateway_relative:
+            target = f"gw{self.target[0]}"
+        else:
+            target = str(self.target[0])
+        suffix = f":{self.amount:g}" if self.kind == "shock" else ""
+        return f"{self.kind}@{self.time}:{target}{suffix}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events plus degradation policy."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    agent_policy: str = "die"
+
+    def __post_init__(self) -> None:
+        if self.agent_policy not in AGENT_POLICIES:
+            raise ConfigurationError(
+                f"agent_policy must be one of {AGENT_POLICIES}, got {self.agent_policy!r}"
+            )
+        ordered = tuple(sorted(self.events, key=lambda e: e.time))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def last_fault_time(self) -> Optional[Time]:
+        """Time of the final scheduled fault (``None`` for an empty plan)."""
+        return self.events[-1].time if self.events else None
+
+    @property
+    def first_fault_time(self) -> Optional[Time]:
+        """Time of the earliest scheduled fault (``None`` when empty)."""
+        return self.events[0].time if self.events else None
+
+    # -- builder API ----------------------------------------------------
+
+    def adding(self, *events: FaultEvent) -> "FaultPlan":
+        """A new plan with ``events`` merged in (time-sorted)."""
+        return replace(self, events=self.events + tuple(events))
+
+    def with_policy(self, agent_policy: str) -> "FaultPlan":
+        """A new plan with a different agent-respawn policy."""
+        return replace(self, agent_policy=agent_policy)
+
+    def crash(self, time: Time, node: int, gateway: bool = False) -> "FaultPlan":
+        """Schedule a node (or ``gateway``-indexed) crash."""
+        return self.adding(
+            FaultEvent(time, "crash", (node,), gateway_relative=gateway)
+        )
+
+    def recover(self, time: Time, node: int, gateway: bool = False) -> "FaultPlan":
+        """Schedule a crashed node's recovery."""
+        return self.adding(
+            FaultEvent(time, "recover", (node,), gateway_relative=gateway)
+        )
+
+    def gateway_outage(self, start: Time, end: Time, index: int = 0) -> "FaultPlan":
+        """Crash the ``index``-th gateway at ``start``, recover at ``end``."""
+        if end <= start:
+            raise ConfigurationError(
+                f"outage must end after it starts, got {start}..{end}"
+            )
+        return self.crash(start, index, gateway=True).recover(end, index, gateway=True)
+
+    def blackout(self, time: Time, source: int, destination: int) -> "FaultPlan":
+        """Schedule a directed-link blackout."""
+        return self.adding(FaultEvent(time, "blackout", (source, destination)))
+
+    def restore(self, time: Time, source: int, destination: int) -> "FaultPlan":
+        """Schedule a blacked-out link's restoration."""
+        return self.adding(FaultEvent(time, "restore", (source, destination)))
+
+    def link_flap(
+        self, source: int, destination: int, times: Iterable[Time], downtime: int = 1
+    ) -> "FaultPlan":
+        """Blackout/restore the link at each of ``times`` (a flapping link)."""
+        if downtime < 1:
+            raise ConfigurationError(f"downtime must be >= 1, got {downtime}")
+        plan = self
+        for time in times:
+            plan = plan.blackout(time, source, destination).restore(
+                time + downtime, source, destination
+            )
+        return plan
+
+    def battery_shock(self, time: Time, node: int, amount: float) -> "FaultPlan":
+        """Instantly drain ``amount`` (fraction of full) from a battery."""
+        return self.adding(FaultEvent(time, "shock", (node,), amount=amount))
+
+    def kill_agent(self, time: Time, agent: int) -> "FaultPlan":
+        """Kill one agent outright."""
+        return self.adding(FaultEvent(time, "kill", (agent,)))
+
+    def wipe_table(self, time: Time, node: int) -> "FaultPlan":
+        """Wipe a node's routing table."""
+        return self.adding(FaultEvent(time, "wipe", (node,)))
+
+    def corrupt_table(self, time: Time, node: int) -> "FaultPlan":
+        """Scramble a node's routing-table next hops."""
+        return self.adding(FaultEvent(time, "corrupt", (node,)))
+
+    # -- random churn ----------------------------------------------------
+
+    @classmethod
+    def random_churn(
+        cls,
+        master_seed: int,
+        *,
+        node_count: int,
+        start: Time,
+        end: Time,
+        crashes: int,
+        min_downtime: int = 10,
+        max_downtime: int = 40,
+        exclude: Tuple[int, ...] = (),
+        agent_policy: str = "die",
+        name: str = "churn",
+    ) -> "FaultPlan":
+        """A reproducible crash/recover schedule drawn from a seed.
+
+        Picks ``crashes`` distinct victims (ids below ``node_count``,
+        minus ``exclude``), each crashing at a uniform time in
+        ``[start, end)`` and recovering after a uniform downtime in
+        ``[min_downtime, max_downtime]``.  The stream is derived from
+        ``(master_seed, name)`` via :func:`repro.rng.derive_seed`, so
+        the same seed always yields the same churn and two differently
+        named plans never share a stream.
+        """
+        if not 1 <= start < end:
+            raise ConfigurationError(
+                f"churn window must satisfy 1 <= start < end, got {start}..{end}"
+            )
+        if not 1 <= min_downtime <= max_downtime:
+            raise ConfigurationError(
+                f"downtime bounds must satisfy 1 <= min <= max, "
+                f"got {min_downtime}..{max_downtime}"
+            )
+        candidates = [n for n in range(node_count) if n not in set(exclude)]
+        if crashes > len(candidates):
+            raise ConfigurationError(
+                f"cannot crash {crashes} distinct nodes out of {len(candidates)}"
+            )
+        rng = random.Random(derive_seed(master_seed, f"faults:{name}"))
+        victims = rng.sample(candidates, crashes)
+        events = []
+        for victim in victims:
+            crash_at = rng.randrange(start, end)
+            downtime = rng.randint(min_downtime, max_downtime)
+            events.append(FaultEvent(crash_at, "crash", (victim,)))
+            events.append(FaultEvent(crash_at + downtime, "recover", (victim,)))
+        return cls(events=tuple(events), agent_policy=agent_policy)
+
+    def describe(self) -> str:
+        """The plan in spec-DSL form (parseable back with one policy)."""
+        parts = [f"policy={self.agent_policy}"]
+        parts.extend(event.describe() for event in self.events)
+        return ";".join(parts)
+
+
+def _parse_target(kind: str, text: str) -> Tuple[Tuple[int, ...], bool]:
+    """Decode a spec target: ``N``, ``gwK``, ``aN``, or ``U-V``."""
+    if kind in _EDGE_KINDS:
+        pieces = text.split("-")
+        if len(pieces) != 2:
+            raise ConfigurationError(
+                f"{kind} target must be 'source-destination', got {text!r}"
+            )
+        return (int(pieces[0]), int(pieces[1])), False
+    if kind == "kill":
+        if not text.startswith("a"):
+            raise ConfigurationError(f"kill target must be 'a<agent-id>', got {text!r}")
+        return (int(text[1:]),), False
+    if text.startswith("gw"):
+        return (int(text[2:]),), True
+    return (int(text),), False
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse the compact ``--faults`` spec DSL into a :class:`FaultPlan`.
+
+    See the module docstring for the grammar.  Raises
+    :class:`~repro.errors.ConfigurationError` on any malformed segment.
+    """
+    events = []
+    policy = "die"
+    for raw_segment in spec.split(";"):
+        segment = raw_segment.strip()
+        if not segment:
+            continue
+        if segment.startswith("policy="):
+            policy = segment[len("policy="):].strip()
+            continue
+        head, _, rest = segment.partition("@")
+        kind = head.strip()
+        if not rest:
+            raise ConfigurationError(
+                f"malformed fault {segment!r}; expected 'kind@time:target'"
+            )
+        pieces = rest.split(":")
+        if len(pieces) < 2:
+            raise ConfigurationError(
+                f"malformed fault {segment!r}; expected 'kind@time:target'"
+            )
+        try:
+            time = int(pieces[0])
+            target, gateway_relative = _parse_target(kind, pieces[1])
+            amount = float(pieces[2]) if len(pieces) > 2 else 0.0
+        except ValueError as error:
+            raise ConfigurationError(
+                f"malformed fault {segment!r}: {error}"
+            ) from None
+        events.append(
+            FaultEvent(
+                time=time,
+                kind=kind,
+                target=target,
+                amount=amount,
+                gateway_relative=gateway_relative,
+            )
+        )
+    return FaultPlan(events=tuple(events), agent_policy=policy)

@@ -30,6 +30,9 @@ from repro.core.mapping_agents import MappingAgent, make_mapping_agent
 from repro.core.overhead import aggregate_overheads
 from repro.core.stigmergy import StigmergyField
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import ResilienceReport, ResilienceTracker
+from repro.faults.plan import FaultPlan
 from repro.mapping.metrics import KnowledgeTracker
 from repro.net.radio import HeterogeneousRange
 from repro.net.topology import Topology
@@ -60,6 +63,7 @@ class MappingWorldConfig:
     degrade_at: Optional[Time] = None
     degrade_fraction: float = 0.1
     degrade_amount: float = 0.3
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -85,6 +89,7 @@ class MappingResult:
     minimum_knowledge: List[float] = field(default_factory=list)
     meetings: int = 0
     overhead: Dict[str, float] = field(default_factory=dict)
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def finished(self) -> bool:
@@ -108,10 +113,19 @@ class MappingWorld:
         self.tracker = KnowledgeTracker(topology.edge_count)
         # Once the topology can mutate mid-run, completeness has to be
         # checked against the live edge set, not a simple count.
-        self._live_edges = (
-            topology.edge_set() if config.degrade_at is not None else None
-        )
+        mutable = config.degrade_at is not None or config.fault_plan is not None
+        self._live_edges = topology.edge_set() if mutable else None
         self.meetings = 0
+        self.injector: Optional[FaultInjector] = None
+        self.resilience: Optional[ResilienceTracker] = None
+        if config.fault_plan is not None:
+            self.injector = FaultInjector(
+                self, config.fault_plan, self._spawner.stream("faults")
+            )
+            self.injector.install()
+            self.resilience = ResilienceTracker(
+                self.engine.hooks, "knowledge_recorded", "average"
+            )
         self.engine.add_process(self._step)
         if config.degrade_at is not None:
             self.engine.schedule_at(
@@ -156,13 +170,28 @@ class MappingWorld:
             if isinstance(radio, HeterogeneousRange):
                 radio.degrade(config.degrade_amount)
         self.topology.invalidate()
-        # The map to learn changed; re-baseline the tracker target and
-        # refresh the live edge set completeness is measured against.
+        self.fault_topology_changed()
+
+    def fault_topology_changed(self) -> None:
+        """Re-baseline completeness after the topology mutated mid-run.
+
+        The map to learn changed (degradation, crash, recovery, link
+        blackout); the tracker target and the live edge set completeness
+        is measured against must follow the current topology.
+        """
         self.tracker.total_edges = self.topology.edge_count
         self._live_edges = self.topology.edge_set()
 
+    def _active_agents(self) -> List[MappingAgent]:
+        """Agents acting this step (faults may kill or suspend some)."""
+        if self.injector is None:
+            return self.agents
+        return self.injector.active_agents()
+
     def _step(self, now: Time) -> None:
-        agents = self.agents
+        agents = self._active_agents()
+        if not agents:
+            raise StopSimulation("all-agents-dead")
         topology = self.topology
         # Phase 1: first-hand observation.
         neighbor_cache: Dict[NodeId, Sequence[NodeId]] = {}
@@ -208,6 +237,10 @@ class MappingWorld:
         """Run to finishing time or ``max_steps``; return the result."""
         steps = self.engine.run(self.config.max_steps)
         team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
+        resilience = None
+        if self.resilience is not None and self.injector is not None:
+            total, alive = self.injector.resilience_counts()
+            resilience = self.resilience.report(total, alive)
         return MappingResult(
             finishing_time=self.tracker.finishing_time,
             steps_simulated=steps,
@@ -216,6 +249,7 @@ class MappingWorld:
             minimum_knowledge=list(self.tracker.minimum_knowledge),
             meetings=self.meetings,
             overhead=team_overhead.per_decision(),
+            resilience=resilience,
         )
 
 

@@ -82,5 +82,17 @@ class Battery:
         self._level = min(1.0, max(0.0, self._drain_model.drain(self._level)))
         return self._level
 
+    def shock(self, amount: float) -> float:
+        """Instantly lose ``amount`` of charge (a fault-model event).
+
+        Models sudden energy loss — a damaged cell, a cold snap, a burst
+        of transmission — as opposed to the gradual drain model.
+        Returns the new level.
+        """
+        if not 0.0 < amount <= 1.0:
+            raise ConfigurationError(f"shock amount must be in (0, 1], got {amount}")
+        self._level = max(0.0, self._level - amount)
+        return self._level
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Battery(level={self._level:.3f})"

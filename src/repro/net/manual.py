@@ -6,7 +6,9 @@ nodes", "this 2-SCC digraph").  :class:`FixedTopology` is a
 :class:`~repro.net.topology.Topology` whose adjacency is pinned to a
 given edge set: nodes are laid out on a circle for display purposes, and
 ``recompute`` restores the pinned adjacency instead of deriving it, so
-motion and battery events can never change the links.
+motion and battery events can never change the links.  Fault state is
+still honoured: crashed nodes and blacked-out links disappear from the
+pinned graph exactly as they do from a geometric one.
 """
 
 from __future__ import annotations
@@ -86,7 +88,19 @@ def fixed_topology(
     topology = Topology(nodes, arena)
 
     def recompute() -> None:
-        topology._adjacency = {n: set(s) for n, s in pinned.items()}
+        # Restore the pinned adjacency, then apply fault state the same
+        # way Topology.recompute does: crashed nodes lose every link,
+        # blacked-out links are removed last.
+        down = topology._down
+        adjacency = {
+            n: set() if n in down else {d for d in s if d not in down}
+            for n, s in pinned.items()
+        }
+        for source, destination in topology._blocked:
+            successors = adjacency.get(source)
+            if successors is not None:
+                successors.discard(destination)
+        topology._adjacency = adjacency
         topology._dirty = False
 
     topology.recompute = recompute  # type: ignore[method-assign]

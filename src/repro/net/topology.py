@@ -39,6 +39,8 @@ class Topology:
         self.arena = arena
         self._adjacency: Adjacency = {node.node_id: set() for node in nodes}
         self._dirty = True
+        self._down: Set[NodeId] = set()
+        self._blocked: Set[Edge] = set()
 
     # ------------------------------------------------------------------
     # Recomputation
@@ -49,17 +51,27 @@ class Topology:
         self._dirty = True
 
     def recompute(self) -> None:
-        """Rebuild the adjacency from current positions and ranges."""
+        """Rebuild the adjacency from current positions and ranges.
+
+        Nodes marked down (:meth:`set_node_down`) have their radios
+        silenced: they emit no links and appear in nobody's neighbour
+        set.  Blacked-out links (:meth:`block_edge`) are removed last.
+        """
         ranges = [node.current_range() for node in self.nodes]
-        positive = [r for r in ranges if r > 0.0]
+        positive = [
+            r for node, r in zip(self.nodes, ranges)
+            if r > 0.0 and node.node_id not in self._down
+        ]
         adjacency: Adjacency = {node.node_id: set() for node in self.nodes}
         if positive:
             cell = sum(positive) / len(positive)
             grid: Dict[Tuple[int, int], List[Node]] = defaultdict(list)
             for node in self.nodes:
+                if node.node_id in self._down:
+                    continue
                 grid[self._cell_of(node, cell)].append(node)
             for node, radius in zip(self.nodes, ranges):
-                if radius <= 0.0:
+                if radius <= 0.0 or node.node_id in self._down:
                     continue
                 successors = adjacency[node.node_id]
                 reach = int(radius / cell) + 1
@@ -75,6 +87,11 @@ class Topology:
                                 <= radius_sq
                             ):
                                 successors.add(other.node_id)
+        if self._blocked:
+            for source, destination in self._blocked:
+                successors = adjacency.get(source)
+                if successors is not None:
+                    successors.discard(destination)
         self._adjacency = adjacency
         self._dirty = False
 
@@ -155,8 +172,85 @@ class Topology:
 
     @property
     def gateway_ids(self) -> List[NodeId]:
-        """Ids of gateway nodes, ascending."""
+        """Ids of *live* gateway nodes, ascending.
+
+        A crashed gateway is off the air: it must not anchor routes or
+        count as an attachment point until it recovers.
+        """
+        return [
+            node.node_id
+            for node in self.nodes
+            if node.is_gateway and node.node_id not in self._down
+        ]
+
+    @property
+    def all_gateway_ids(self) -> List[NodeId]:
+        """Ids of every gateway node, up or down, ascending."""
         return [node.node_id for node in self.nodes if node.is_gateway]
+
+    # ------------------------------------------------------------------
+    # Fault state
+    # ------------------------------------------------------------------
+
+    @property
+    def down_ids(self) -> FrozenSet[NodeId]:
+        """Ids of nodes currently marked down (crashed)."""
+        return frozenset(self._down)
+
+    def is_down(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is currently crashed."""
+        return node_id in self._down
+
+    def set_node_down(self, node_id: NodeId) -> bool:
+        """Crash ``node_id``: silence its radio until :meth:`set_node_up`.
+
+        Returns whether the state changed (crashing a dead node is a
+        no-op, so fault plans are idempotent).
+        """
+        self.node(node_id)  # validate the id
+        if node_id in self._down:
+            return False
+        self._down.add(node_id)
+        self.invalidate()
+        return True
+
+    def set_node_up(self, node_id: NodeId) -> bool:
+        """Recover a crashed node; returns whether the state changed."""
+        self.node(node_id)
+        if node_id not in self._down:
+            return False
+        self._down.discard(node_id)
+        self.invalidate()
+        return True
+
+    def block_edge(self, source: NodeId, destination: NodeId) -> bool:
+        """Black out the directed link ``source -> destination``.
+
+        The link stays suppressed across recomputes until
+        :meth:`unblock_edge`; returns whether the state changed.
+        """
+        self.node(source)
+        self.node(destination)
+        edge = (source, destination)
+        if edge in self._blocked:
+            return False
+        self._blocked.add(edge)
+        self.invalidate()
+        return True
+
+    def unblock_edge(self, source: NodeId, destination: NodeId) -> bool:
+        """Lift a link blackout; returns whether the state changed."""
+        edge = (source, destination)
+        if edge not in self._blocked:
+            return False
+        self._blocked.discard(edge)
+        self.invalidate()
+        return True
+
+    @property
+    def blocked_edges(self) -> FrozenSet[Edge]:
+        """Currently blacked-out directed links."""
+        return frozenset(self._blocked)
 
     # ------------------------------------------------------------------
     # Dynamics

@@ -45,7 +45,7 @@ def walk_to_gateway(
     current = node
     seen: Set[NodeId] = {node}
     for __ in range(walk_ttl):
-        if topology.node(current).is_gateway:
+        if _is_live_gateway(current, topology):
             return path
         next_hop = _usable_next_hop(current, topology, tables, seen)
         if next_hop is None:
@@ -53,7 +53,12 @@ def walk_to_gateway(
         path.append(next_hop)
         seen.add(next_hop)
         current = next_hop
-    return path if topology.node(current).is_gateway else None
+    return path if _is_live_gateway(current, topology) else None
+
+
+def _is_live_gateway(node: NodeId, topology: Topology) -> bool:
+    """A gateway counts only while it is up — a crashed one is off the air."""
+    return topology.node(node).is_gateway and not topology.is_down(node)
 
 
 def _usable_next_hop(
@@ -78,7 +83,7 @@ def connected_nodes(
     """
     connected: Set[NodeId] = set(topology.gateway_ids)
     for node in topology.node_ids:
-        if node in connected:
+        if node in connected or topology.is_down(node):
             continue
         path = walk_to_gateway(node, topology, tables, walk_ttl)
         if path is not None:

@@ -104,6 +104,42 @@ class RoutingTable:
         """Drop every entry."""
         self._entries.clear()
 
+    def drop_routes_via(self, node: NodeId) -> int:
+        """Drop entries that lead through or toward a dead ``node``.
+
+        Removes every entry whose next hop *or* gateway is ``node`` —
+        both are useless once the node crashes.  Returns how many
+        entries were dropped.
+        """
+        doomed = [
+            gateway
+            for gateway, entry in self._entries.items()
+            if entry.next_hop == node or entry.gateway == node
+        ]
+        for gateway in doomed:
+            del self._entries[gateway]
+        return len(doomed)
+
+    def corrupt(self, rng, node_ids: List[NodeId]) -> int:
+        """Scramble every entry's next hop to a random node (fault model).
+
+        Models a corrupted routing table whose entries still *look*
+        plausible: gateways and hop counts survive but the next-hop
+        pointers are garbage.  Returns how many entries were scrambled.
+        """
+        if not node_ids:
+            return 0
+        for gateway in sorted(self._entries):
+            entry = self._entries[gateway]
+            self._entries[gateway] = RouteEntry(
+                gateway=entry.gateway,
+                next_hop=rng.choice(node_ids),
+                hops=entry.hops,
+                installed_at=entry.installed_at,
+                gateway_seen_at=entry.gateway_seen_at,
+            )
+        return len(self._entries)
+
 
 class TableBank:
     """The routing tables of every node, keyed by node id.
@@ -132,6 +168,17 @@ class TableBank:
     def expire_all(self, now: Time) -> int:
         """Expire stale entries in every table; returns total dropped."""
         return sum(table.expire(now) for table in self._tables)
+
+    def invalidate_node(self, node: NodeId) -> int:
+        """Graceful degradation after ``node`` crashes.
+
+        Wipes the dead node's own table and drops, bank-wide, every
+        route that points through or toward it.  Returns the total
+        number of entries removed.
+        """
+        own = len(self.table(node))
+        self.table(node).clear()
+        return own + sum(table.drop_routes_via(node) for table in self._tables)
 
     def total_entries(self) -> int:
         """Total live entries across all tables (diagnostics)."""

@@ -27,6 +27,9 @@ from repro.core.overhead import aggregate_overheads
 from repro.core.routing_agents import RoutingAgent, make_routing_agent
 from repro.core.stigmergy import StigmergyField
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import ResilienceReport, ResilienceTracker
+from repro.faults.plan import FaultPlan
 from repro.net.topology import Topology
 from repro.routing.connectivity import DEFAULT_WALK_TTL, connectivity_fraction
 from repro.core.pheromone import PheromoneField
@@ -56,6 +59,8 @@ class RoutingWorldConfig:
     # --- ant (pheromone) agents only ---------------------------------
     pheromone_evaporation: float = 0.05
     ant_follow_probability: float = 0.85
+    # --- fault injection ----------------------------------------------
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -82,6 +87,7 @@ class RoutingResult:
     converged_after: Time = 150
     meetings: int = 0
     overhead: Dict[str, float] = field(default_factory=dict)
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def mean_connectivity(self) -> float:
@@ -139,6 +145,16 @@ class RoutingWorld:
             for ant in ants:
                 ant.pheromone = self.pheromone
         self.result = RoutingResult(converged_after=config.converged_after)
+        self.injector: Optional[FaultInjector] = None
+        self.resilience: Optional[ResilienceTracker] = None
+        if config.fault_plan is not None:
+            self.injector = FaultInjector(
+                self, config.fault_plan, self._spawner.stream("faults")
+            )
+            self.injector.install()
+            self.resilience = ResilienceTracker(
+                self.engine.hooks, "connectivity_recorded", "fraction"
+            )
         self.engine.add_process(self._step)
 
     # ------------------------------------------------------------------
@@ -175,6 +191,16 @@ class RoutingWorld:
     # Dynamics
     # ------------------------------------------------------------------
 
+    def _is_live_gateway(self, node: NodeId) -> bool:
+        """A gateway only seeds tracks while it is up (not crashed)."""
+        return node in self._gateways and not self.topology.is_down(node)
+
+    def _active_agents(self) -> List[RoutingAgent]:
+        """Agents acting this step (faults may kill or suspend some)."""
+        if self.injector is None:
+            return self.agents
+        return self.injector.active_agents()
+
     def _step(self, now: Time) -> None:
         topology = self.topology
         config = self.config
@@ -183,26 +209,27 @@ class RoutingWorld:
         self.tables.expire_all(now)
         if self.pheromone is not None:
             self.pheromone.evaporate()
+        agents = self._active_agents()
         # Phase 1: every agent decides from the *new* neighbourhood.
         decisions: List[Optional[NodeId]] = [
             agent.decide(
                 sorted(topology.out_neighbors(agent.location)), now, field=self.field
             )
-            for agent in self.agents
+            for agent in agents
         ]
         # Phase 2: visiting agents exchange knowledge where co-located.
         if config.visiting:
-            self.result.meetings += exchange_routing_knowledge(self.agents)
+            self.result.meetings += exchange_routing_knowledge(agents)
         # Phases 3 & 4: move and install routes.
         moves: List[Tuple[RoutingAgent, NodeId]] = []
-        for agent, target in zip(self.agents, decisions):
+        for agent, target in zip(agents, decisions):
             if target is None:
-                agent.stay(now, here_is_gateway=agent.location in self._gateways)
+                agent.stay(now, here_is_gateway=self._is_live_gateway(agent.location))
             else:
                 agent.leave_footprint(target, now, self.field)
                 moves.append((agent, target))
         for agent, target in moves:
-            came_from = agent.move_to(target, now, target in self._gateways)
+            came_from = agent.move_to(target, now, self._is_live_gateway(target))
             table = self.tables.table(agent.location)
             for gateway, next_hop, hops, seen_at in agent.installable_routes(came_from):
                 agent.overhead.routes_installed += 1
@@ -230,6 +257,9 @@ class RoutingWorld:
         self.engine.run(self.config.total_steps)
         team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
         self.result.overhead = team_overhead.per_decision()
+        if self.resilience is not None and self.injector is not None:
+            total, alive = self.injector.resilience_counts()
+            self.result.resilience = self.resilience.report(total, alive)
         return self.result
 
 

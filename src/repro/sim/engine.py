@@ -101,13 +101,25 @@ class TimeStepEngine:
         self._running = True
         self.stop_reason = None
         last = self.clock.now
+        error_reason: Optional[str] = None
         try:
             for __ in range(max_steps):
                 last = self.step()
         except StopSimulation:
             last = self.clock.now
+        except Exception as error:
+            # A crashing process must still close the run exactly once so
+            # trace recorders and metric collectors can flush cleanly.
+            last = self.clock.now
+            error_reason = f"error: {error}"
+            raise
         finally:
             self._running = False
-        reason = self.stop_reason if self.stop_reason is not None else "max_steps"
-        self.hooks.fire("run_end", time=last, reason=reason)
+            if error_reason is not None:
+                reason = error_reason
+            elif self.stop_reason is not None:
+                reason = self.stop_reason
+            else:
+                reason = "max_steps"
+            self.hooks.fire("run_end", time=last, reason=reason)
         return last

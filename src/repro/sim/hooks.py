@@ -33,8 +33,13 @@ class HookRegistry:
             callbacks.remove(callback)
 
     def fire(self, hook: str, /, **payload: Any) -> None:
-        """Invoke every subscriber of ``hook`` with ``payload`` kwargs."""
-        for callback in self._subscribers.get(hook, ()):
+        """Invoke every subscriber of ``hook`` with ``payload`` kwargs.
+
+        Iterates a snapshot so a callback that unsubscribes itself (or
+        anyone else) mid-fire cannot skip the next subscriber; callbacks
+        subscribed during a fire run from the following fire on.
+        """
+        for callback in tuple(self._subscribers.get(hook, ())):
             callback(**payload)
 
     def subscriber_count(self, hook: str) -> int:

@@ -1,0 +1,184 @@
+"""Unit tests for fault plans: the spec DSL, builders, and churn."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    AGENT_POLICIES,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    parse_fault_plan,
+)
+
+
+class TestFaultEvent:
+    def test_validates_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "meteor", (1,))
+
+    def test_validates_time(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(0, "crash", (1,))
+
+    def test_validates_target_arity(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "crash", (1, 2))
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "blackout", (1,))
+
+    def test_validates_shock_amount(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "shock", (1,), amount=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "shock", (1,), amount=1.5)
+
+    def test_gateway_relative_only_for_node_faults(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "blackout", (1, 2), gateway_relative=True)
+
+    def test_describe_round_trips_through_parser(self):
+        events = [
+            FaultEvent(5, "crash", (3,)),
+            FaultEvent(6, "recover", (0,), gateway_relative=True),
+            FaultEvent(7, "blackout", (2, 7)),
+            FaultEvent(8, "shock", (4,), amount=0.5),
+            FaultEvent(9, "kill", (3,)),
+        ]
+        spec = ";".join(e.describe() for e in events)
+        assert parse_fault_plan(spec).events == tuple(events)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan().recover(80, 3).crash(50, 3)
+        assert [e.time for e in plan.events] == [50, 80]
+        assert plan.first_fault_time == 50
+        assert plan.last_fault_time == 80
+
+    def test_builders_cover_every_kind(self):
+        plan = (
+            FaultPlan()
+            .crash(10, 1)
+            .recover(20, 1)
+            .blackout(11, 0, 1)
+            .restore(12, 0, 1)
+            .battery_shock(13, 2, 0.4)
+            .kill_agent(14, 0)
+            .wipe_table(15, 3)
+            .corrupt_table(16, 3)
+        )
+        assert {e.kind for e in plan.events} == FAULT_KINDS
+
+    def test_gateway_outage_pairs_crash_and_recover(self):
+        plan = FaultPlan().gateway_outage(30, 60)
+        assert [(e.kind, e.time, e.gateway_relative) for e in plan.events] == [
+            ("crash", 30, True),
+            ("recover", 60, True),
+        ]
+
+    def test_gateway_outage_must_end_after_start(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan().gateway_outage(30, 30)
+
+    def test_link_flap_alternates(self):
+        plan = FaultPlan().link_flap(1, 2, times=(5, 20), downtime=3)
+        assert [(e.kind, e.time) for e in plan.events] == [
+            ("blackout", 5),
+            ("restore", 8),
+            ("blackout", 20),
+            ("restore", 23),
+        ]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(agent_policy="resurrect")
+        for policy in AGENT_POLICIES:
+            assert FaultPlan(agent_policy=policy).agent_policy == policy
+
+    def test_hashable_and_picklable(self):
+        plan = FaultPlan().crash(10, 1).with_policy("respawn")
+        assert hash(plan) == hash(FaultPlan().crash(10, 1).with_policy("respawn"))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().first_fault_time is None
+        assert len(FaultPlan().crash(5, 0)) == 1
+
+
+class TestParseFaultPlan:
+    def test_full_spec(self):
+        plan = parse_fault_plan(
+            "policy=respawn; crash@50:gw0; recover@80:gw0; shock@30:5:0.5; kill@25:a3"
+        )
+        assert plan.agent_policy == "respawn"
+        assert [e.kind for e in plan.events] == ["kill", "shock", "crash", "recover"]
+        assert plan.events[2].gateway_relative is True
+
+    def test_empty_segments_ignored(self):
+        assert len(parse_fault_plan("crash@5:1;;  ;")) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "crash",  # no time/target
+            "crash@5",  # no target
+            "crash@x:1",  # non-numeric time
+            "crash@5:x",  # non-numeric target
+            "blackout@5:3",  # edge kind without a pair
+            "kill@5:3",  # kill without the a prefix
+            "meteor@5:3",  # unknown kind
+            "policy=resurrect",  # unknown policy
+            "shock@5:3:2.0",  # amount out of range
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan(bad)
+
+
+class TestRandomChurn:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(node_count=40, start=10, end=50, crashes=5)
+        assert FaultPlan.random_churn(7, **kwargs) == FaultPlan.random_churn(7, **kwargs)
+
+    def test_different_seed_or_name_different_plan(self):
+        kwargs = dict(node_count=40, start=10, end=50, crashes=5)
+        base = FaultPlan.random_churn(7, **kwargs)
+        assert FaultPlan.random_churn(8, **kwargs) != base
+        assert FaultPlan.random_churn(7, name="other", **kwargs) != base
+
+    def test_victims_distinct_and_excluded_respected(self):
+        plan = FaultPlan.random_churn(
+            3, node_count=10, start=5, end=30, crashes=8, exclude=(0, 1)
+        )
+        victims = [e.target[0] for e in plan.events if e.kind == "crash"]
+        assert len(set(victims)) == 8
+        assert not {0, 1} & set(victims)
+
+    def test_every_crash_has_a_later_recovery(self):
+        plan = FaultPlan.random_churn(
+            11, node_count=30, start=10, end=40, crashes=6,
+            min_downtime=5, max_downtime=9,
+        )
+        crashes = {e.target[0]: e.time for e in plan.events if e.kind == "crash"}
+        recoveries = {e.target[0]: e.time for e in plan.events if e.kind == "recover"}
+        assert crashes.keys() == recoveries.keys()
+        for node, crashed_at in crashes.items():
+            assert 5 <= recoveries[node] - crashed_at <= 9
+
+    def test_too_many_crashes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random_churn(1, node_count=3, start=5, end=10, crashes=4)
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random_churn(1, node_count=9, start=10, end=10, crashes=1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random_churn(
+                1, node_count=9, start=5, end=10, crashes=1,
+                min_downtime=4, max_downtime=2,
+            )

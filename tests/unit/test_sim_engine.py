@@ -102,6 +102,39 @@ class TestTimeStepEngine:
         engine.run(5)
         assert reasons == ["why"]
 
+    def test_run_end_fires_exactly_once_on_error(self):
+        # A process raising a non-StopSimulation error must still fire
+        # run_end (exactly once, with an "error: …" reason) so metric
+        # collectors can finalize before the exception propagates.
+        engine = TimeStepEngine()
+        fired = []
+        engine.hooks.subscribe(
+            "run_end", lambda time, reason: fired.append((time, reason))
+        )
+
+        def exploder(t):
+            if t == 2:
+                raise ValueError("boom")
+
+        engine.add_process(exploder)
+        with pytest.raises(ValueError):
+            engine.run(10)
+        assert fired == [(2, "error: boom")]
+
+    def test_error_leaves_engine_restartable(self):
+        engine = TimeStepEngine()
+        state = {"explode": True}
+
+        def sometimes(t):
+            if state["explode"]:
+                raise RuntimeError("first run dies")
+
+        engine.add_process(sometimes)
+        with pytest.raises(RuntimeError):
+            engine.run(3)
+        state["explode"] = False
+        assert engine.run(3) > 0  # _running was reset; a rerun works
+
 
 class TestHookRegistry:
     def test_fire_without_subscribers_is_noop(self):
@@ -132,6 +165,36 @@ class TestHookRegistry:
 
     def test_unsubscribe_missing_is_noop(self):
         HookRegistry().unsubscribe("h", lambda: None)
+
+    def test_unsubscribe_during_fire_does_not_skip_subscribers(self):
+        # fire() must iterate a snapshot: a callback that unsubscribes
+        # itself used to shift the live list and silently skip the next
+        # subscriber.
+        hooks = HookRegistry()
+        ran = []
+
+        def one_shot():
+            ran.append("one_shot")
+            hooks.unsubscribe("h", one_shot)
+
+        hooks.subscribe("h", one_shot)
+        hooks.subscribe("h", lambda: ran.append("steady"))
+        hooks.fire("h")
+        assert ran == ["one_shot", "steady"]
+        hooks.fire("h")
+        assert ran == ["one_shot", "steady", "steady"]
+
+    def test_subscribe_during_fire_affects_next_fire_only(self):
+        hooks = HookRegistry()
+        ran = []
+
+        def recruiter():
+            ran.append("recruiter")
+            hooks.subscribe("h", lambda: ran.append("recruit"))
+
+        hooks.subscribe("h", recruiter)
+        hooks.fire("h")
+        assert ran == ["recruiter"]
 
 
 class TestTraceRecorder:
