@@ -88,6 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--loss",
+        metavar="SPEC",
+        help=(
+            "run every variant over a lossy channel: a bare probability "
+            "('0.2') or 'fixed=0.1,distance=0.3,battery=0.2,retries=4,"
+            "backoff=2' (see repro.net.channel)"
+        ),
+    )
+    run.add_argument(
+        "--hop-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries before a failed agent hop is abandoned (with --loss)",
+    )
+    run.add_argument(
+        "--route-ttl",
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="override the routing-table entry TTL in every routing variant",
+    )
+    run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="validate cross-layer invariants after every step (fail fast)",
+    )
+    run.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         help=(
@@ -159,6 +187,17 @@ def _command_run(args: argparse.Namespace) -> int:
         from repro.faults.plan import parse_fault_plan
 
         runner.set_default_fault_plan(parse_fault_plan(args.faults))
+    if args.loss or args.hop_retries is not None:
+        from repro.net.channel import ChannelConfig, parse_channel_spec
+
+        channel = parse_channel_spec(args.loss) if args.loss else ChannelConfig()
+        if args.hop_retries is not None:
+            channel = dataclasses.replace(channel, hop_retries=args.hop_retries)
+        runner.set_default_channel(channel)
+    if args.route_ttl is not None:
+        runner.set_default_route_ttl(args.route_ttl)
+    if args.check_invariants:
+        runner.set_default_check_invariants(True)
     if args.checkpoint_dir:
         runner.set_default_checkpoint_dir(args.checkpoint_dir)
     if args.task_timeout is not None or args.task_retries is not None:

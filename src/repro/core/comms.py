@@ -21,11 +21,12 @@ are going to be identical in terms of history knowledge".
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.history import VisitHistory
 from repro.core.mapping_agents import MappingAgent
 from repro.core.routing_agents import GatewayTrack, RoutingAgent
+from repro.net.channel import ChannelModel
 from repro.types import Edge, NEVER, NodeId, Time
 
 __all__ = [
@@ -43,12 +44,37 @@ def group_by_location(agents: Sequence) -> Dict[NodeId, List]:
     return groups
 
 
-def exchange_mapping_knowledge(agents: Sequence[MappingAgent]) -> int:
+def _payload_received(
+    channel: Optional[ChannelModel], agent, now: Time
+) -> bool:
+    """Whether one meeting payload reached ``agent`` over the channel.
+
+    Loss is modelled at reception: the group broadcast is computed once
+    but each listener may independently miss it (short-range collisions
+    and fading hit receivers, not the shared medium).  Keying the draw
+    by the receiving agent keeps the outcome independent of iteration
+    order.  With no channel (or a lossless one) every payload arrives.
+    """
+    if channel is None:
+        return True
+    if channel.attempt(agent.location, agent.location, now, f"meet:{agent.agent_id}"):
+        return True
+    agent.overhead.payloads_lost += 1
+    return False
+
+
+def exchange_mapping_knowledge(
+    agents: Sequence[MappingAgent],
+    channel: Optional[ChannelModel] = None,
+    now: Time = 0,
+) -> int:
     """Run phase-2 meetings for mapping agents; returns number of meetings.
 
     For every node holding two or more agents, the combined edge set and
     freshest visit map of the group is built from pre-exchange state and
-    absorbed by every member as second-hand knowledge.
+    absorbed by every member as second-hand knowledge.  Over a lossy
+    ``channel`` a member may miss the payload: it still participates in
+    the meeting (its knowledge is in the broadcast) but absorbs nothing.
     """
     meetings = 0
     for __, group in group_by_location(agents).items():
@@ -64,18 +90,25 @@ def exchange_mapping_knowledge(agents: Sequence[MappingAgent]) -> int:
                     combined_visits[node] = time
         payload = len(combined_edges) + len(combined_visits)
         for agent in group:
-            agent.knowledge.absorb(combined_edges, combined_visits)
             agent.overhead.meetings += 1
+            if not _payload_received(channel, agent, now):
+                continue
+            agent.knowledge.absorb(combined_edges, combined_visits)
             agent.overhead.items_received += payload
     return meetings
 
 
-def exchange_routing_knowledge(agents: Sequence[RoutingAgent]) -> int:
+def exchange_routing_knowledge(
+    agents: Sequence[RoutingAgent],
+    channel: Optional[ChannelModel] = None,
+    now: Time = 0,
+) -> int:
     """Run visiting meetings for routing agents; returns number of meetings.
 
     Only agents with ``visiting`` enabled participate.  The group's best
     track per gateway and merged history are computed from pre-exchange
-    snapshots, then written back to every participant.
+    snapshots, then written back to every participant — except members
+    whose payload the lossy ``channel`` drops, who keep their own state.
     """
     meetings = 0
     for __, group in group_by_location(agents).items():
@@ -92,9 +125,11 @@ def exchange_routing_knowledge(agents: Sequence[RoutingAgent]) -> int:
         merged_history = _merged_history(participants)
         payload = len(best_tracks) + len(merged_history)
         for agent in participants:
+            agent.overhead.meetings += 1
+            if not _payload_received(channel, agent, now):
+                continue
             agent.tracks = dict(best_tracks)
             agent.history.merge_from(merged_history)
-            agent.overhead.meetings += 1
             agent.overhead.items_received += payload
     return meetings
 

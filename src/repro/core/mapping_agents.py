@@ -23,6 +23,7 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.core.knowledge import TopologyKnowledge
+from repro.core.migration import MigrationState
 from repro.core.overhead import OverheadMeter
 from repro.core.stigmergy import StigmergyField
 from repro.errors import ConfigurationError
@@ -66,6 +67,7 @@ class MappingAgent:
         self.epsilon = epsilon
         self.knowledge = TopologyKnowledge()
         self.overhead = OverheadMeter()
+        self.migration = MigrationState()
         self._rng = rng
 
     # -- step protocol --------------------------------------------------
@@ -114,11 +116,14 @@ class MappingAgent:
         """Restart this agent fresh at ``start`` after its node crashed.
 
         The map it carried died with the host node, so a respawned
-        mapping agent begins with empty knowledge.
+        mapping agent begins with empty knowledge.  Any in-flight hop
+        (retry/backoff state) dies with it; the overhead meter survives
+        — it accounts for the whole run, respawns included.
         """
         del time  # mapping knowledge is re-observed, not time-stamped here
         self.location = start
         self.knowledge = TopologyKnowledge()
+        self.migration.reset()
 
     # -- policy ----------------------------------------------------------
 

@@ -40,6 +40,18 @@ class OverheadMeter:
     items_received: int = 0
     #: route entries written into node tables (routing agents).
     routes_installed: int = 0
+    #: migration hops attempted over the channel (retries included).
+    hops_attempted: int = 0
+    #: hop attempts the channel dropped.
+    hops_lost: int = 0
+    #: retries scheduled after a lost hop.
+    hop_retries: int = 0
+    #: targets given up on after the retry budget ran out.
+    hops_abandoned: int = 0
+    #: meeting payloads the channel dropped before absorption.
+    payloads_lost: int = 0
+    #: route entries dropped as link-quality evidence after abandonment.
+    routes_invalidated: int = 0
 
     def merged_with(self, other: "OverheadMeter") -> "OverheadMeter":
         """The element-wise sum of two meters."""
@@ -51,6 +63,12 @@ class OverheadMeter:
             meetings=self.meetings + other.meetings,
             items_received=self.items_received + other.items_received,
             routes_installed=self.routes_installed + other.routes_installed,
+            hops_attempted=self.hops_attempted + other.hops_attempted,
+            hops_lost=self.hops_lost + other.hops_lost,
+            hop_retries=self.hop_retries + other.hop_retries,
+            hops_abandoned=self.hops_abandoned + other.hops_abandoned,
+            payloads_lost=self.payloads_lost + other.payloads_lost,
+            routes_invalidated=self.routes_invalidated + other.routes_invalidated,
         )
 
     def per_decision(self) -> Dict[str, float]:
@@ -71,6 +89,12 @@ class OverheadMeter:
             "meetings": self.meetings,
             "items_received": self.items_received,
             "routes_installed": self.routes_installed,
+            "hops_attempted": self.hops_attempted,
+            "hops_lost": self.hops_lost,
+            "hop_retries": self.hop_retries,
+            "hops_abandoned": self.hops_abandoned,
+            "payloads_lost": self.payloads_lost,
+            "routes_invalidated": self.routes_invalidated,
         }
 
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.history import VisitHistory
+from repro.core.migration import MigrationState
 from repro.core.overhead import OverheadMeter
 from repro.core.stigmergy import StigmergyField
 from repro.errors import ConfigurationError
@@ -91,6 +92,7 @@ class RoutingAgent:
         self.history = VisitHistory(history_size)
         self.tracks: Dict[NodeId, GatewayTrack] = {}
         self.overhead = OverheadMeter()
+        self.migration = MigrationState()
         self._rng = rng
 
     # -- phase 1: decide --------------------------------------------------
@@ -171,11 +173,14 @@ class RoutingAgent:
         A respawned agent is a new process on a surviving node: gateway
         tracks and visit history died with the host, so carrying them
         across the teleport would fabricate routes no walk ever took.
+        Pending-hop retry/backoff state dies too; the overhead meter
+        survives — it accounts for the whole run, respawns included.
         """
         self.location = start
         self.tracks = {}
         self.history = VisitHistory(self.history_size)
         self.history.record(start, time)
+        self.migration.reset()
 
     def installable_routes(self, came_from: NodeId) -> List:
         """Route entries to install at the current node after a move.

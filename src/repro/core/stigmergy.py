@@ -17,7 +17,7 @@ marks), honouring the paper's "negligible overhead" claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.types import AgentId, NodeId, Time
@@ -93,6 +93,10 @@ class FootprintBoard:
         """Targets pointed at by any fresh mark."""
         return {m.target for m in self._marks.values() if self._is_fresh(m, now)}
 
+    def all_marks(self) -> List[Footprint]:
+        """Every mark, fresh or stale, oldest first (inspection)."""
+        return sorted(self._marks.values(), key=lambda m: (m.time, m.agent))
+
     def clear(self) -> None:
         """Remove every mark."""
         self._marks.clear()
@@ -155,6 +159,10 @@ class StigmergyField:
         """
         existing = self._boards.pop(node, None)
         return len(existing) if existing is not None else 0
+
+    def items(self) -> List[Tuple[NodeId, FootprintBoard]]:
+        """Every instantiated ``(node, board)`` pair in node order."""
+        return [(node, self._boards[node]) for node in sorted(self._boards)]
 
     def total_marks(self) -> int:
         """Total marks across every board (diagnostics)."""

@@ -28,6 +28,10 @@ class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
 
 
+class InvariantError(SimulationError):
+    """A runtime cross-layer invariant was violated during a step."""
+
+
 class AgentError(ReproError):
     """An agent performed or was asked to perform an illegal action."""
 

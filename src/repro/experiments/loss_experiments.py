@@ -1,0 +1,141 @@
+"""Lossy-channel experiments: agent performance vs transfer loss.
+
+The paper claims its stigmergic agents suit a *realistic* wireless
+environment (§II-A, §III-A), yet evaluates them over perfect transfers.
+``loss1`` closes that gap: the same seeded mapping and routing teams are
+swept across per-attempt loss rates, with the reliable-migration
+protocol (bounded retries, exponential backoff, link suspicion) doing
+its best underneath and the runtime invariant checker active in every
+world, so the sweep doubles as a cross-layer consistency audit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.config import DEFAULT_MASTER_SEED, Scale
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import (
+    ProgressCallback,
+    run_mapping_variants,
+    run_routing_variants,
+)
+from repro.mapping.world import MappingWorldConfig
+from repro.net.channel import ChannelConfig
+from repro.routing.world import RoutingWorldConfig
+
+__all__ = ["loss1", "LOSS_RATES"]
+
+#: Per-attempt loss rates swept by ``loss1`` (0 anchors the baseline).
+LOSS_RATES = (0.0, 0.1, 0.2, 0.35, 0.5)
+
+
+def _label(rate: float) -> str:
+    return f"loss={rate:g}"
+
+
+def loss1(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Connectivity and map-completion time vs channel loss rate.
+
+    Routing: one oldest-node team per loss rate on the identical seeded
+    MANET.  Mapping: one stigmergic conscientious team per rate on the
+    identical static network.  Every world runs with ``check_invariants``
+    forced on and ``raise_on_violation`` semantics — a single broken
+    cross-layer contract aborts its run, so a completed sweep certifies
+    zero violations.
+    """
+    routing_variants: Dict[str, RoutingWorldConfig] = {
+        _label(rate): RoutingWorldConfig(
+            population=scale.routing_population,
+            history_size=scale.default_history,
+            total_steps=scale.routing_steps,
+            converged_after=scale.routing_converged_after,
+            channel=ChannelConfig(loss=rate),
+            check_invariants=True,
+        )
+        for rate in LOSS_RATES
+    }
+    routing_outcomes = run_routing_variants(
+        scale.routing_generator_config(),
+        routing_variants,
+        scale.runs,
+        master_seed,
+        progress,
+    )
+    mapping_variants: Dict[str, MappingWorldConfig] = {
+        _label(rate): MappingWorldConfig(
+            agent_kind="conscientious",
+            population=scale.team_population,
+            stigmergic=True,
+            max_steps=scale.mapping_max_steps,
+            channel=ChannelConfig(loss=rate),
+            check_invariants=True,
+        )
+        for rate in LOSS_RATES
+    }
+    mapping_outcomes = run_mapping_variants(
+        scale.mapping_generator_config(),
+        mapping_variants,
+        scale.runs,
+        master_seed,
+        progress,
+    )
+    report = ExperimentReport(
+        experiment_id="loss1",
+        title="performance vs per-attempt transfer loss rate",
+        paper_claim=(
+            "(beyond the paper: with retries and backoff the teams should "
+            "degrade gracefully — connectivity falls and mapping slows "
+            "monotonically as loss rises, with no collapse at moderate rates)"
+        ),
+        columns=[
+            "loss rate",
+            "mean connectivity (converged)",
+            "fluctuation (std)",
+            "map finishing time",
+            "finished runs",
+        ],
+        y_label="connectivity fraction",
+    )
+    summaries = []
+    for rate in LOSS_RATES:
+        name = _label(rate)
+        routing = routing_outcomes[name]
+        mapping = mapping_outcomes[name]
+        connectivity = routing.connectivity_summary
+        summaries.append(connectivity)
+        report.add_row(
+            f"{rate:g}",
+            connectivity.format(digits=3),
+            f"{routing.stability_summary.mean:.3f}",
+            mapping.finishing_summary.format(digits=0),
+            f"{mapping.finished_runs}/{len(mapping.results)}",
+        )
+        report.series[name] = routing.connectivity_series()
+    # Monotone up to sampling noise: a later rate may sit above an
+    # earlier one by at most the pair's combined standard error — seeded
+    # means at adjacent rates jitter even when the true trend is clean.
+    monotone = all(
+        later.mean <= earlier.mean + earlier.stderr + later.stderr + 1e-9
+        for earlier, later in zip(summaries, summaries[1:])
+    )
+    report.add_note(
+        "connectivity degrades monotonically with loss rate (within one "
+        "combined standard error per step): "
+        + ("yes" if monotone else "NO — check the retry/backoff settings")
+    )
+    hop_budget = ChannelConfig()
+    report.add_note(
+        f"reliable migration: up to {hop_budget.hop_retries} retries per hop, "
+        f"backoff base {hop_budget.backoff_base} step(s), abandoned hops drop "
+        "routes through the unreachable neighbour"
+    )
+    report.add_note(
+        "invariant checker was active in every world; a violation aborts its "
+        "run, so completed sweeps certify zero violations"
+    )
+    return report

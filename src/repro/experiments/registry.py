@@ -6,7 +6,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
-from repro.experiments import mapping_experiments, routing_experiments
+from repro.experiments import (
+    loss_experiments,
+    mapping_experiments,
+    routing_experiments,
+)
 from repro.experiments.config import DEFAULT_MASTER_SEED, Scale
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ProgressCallback
@@ -70,6 +74,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                "routing", routing_experiments.ext2),
         _entry("faults1", "resilience under node churn and a gateway outage",
                "routing", routing_experiments.faults1),
+        _entry("loss1", "lossy channels: connectivity and map completion vs loss rate",
+               "routing", loss_experiments.loss1),
         _entry("abl1", "ablation: footprint freshness window", "mapping",
                mapping_experiments.abl1),
         _entry("abl2", "ablation: symmetric vs directed environment", "mapping",

@@ -58,6 +58,7 @@ from repro.experiments.persistence import (
 )
 from repro.faults.plan import FaultPlan
 from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig
+from repro.net.channel import ChannelConfig
 from repro.net.generator import GeneratorConfig, NetworkGenerator
 from repro.net.topology import Topology
 from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
@@ -71,6 +72,9 @@ __all__ = [
     "clear_topology_cache",
     "set_default_workers",
     "set_default_fault_plan",
+    "set_default_channel",
+    "set_default_route_ttl",
+    "set_default_check_invariants",
     "set_default_checkpoint_dir",
     "set_task_limits",
 ]
@@ -174,6 +178,18 @@ _default_workers = 1
 #: set by the CLI's ``--faults`` flag via :func:`set_default_fault_plan`.
 _default_fault_plan: Optional[FaultPlan] = None
 
+#: channel config applied to every variant that has none of its own —
+#: set by the CLI's ``--loss``/``--hop-retries`` flags.
+_default_channel: Optional[ChannelConfig] = None
+
+#: route TTL forced onto every routing variant when set —
+#: set by the CLI's ``--route-ttl`` flag.
+_default_route_ttl: Optional[int] = None
+
+#: invariant-checking override applied to variants that leave it unset —
+#: set by the CLI's ``--check-invariants`` flag.
+_default_check_invariants: Optional[bool] = None
+
 #: where sweep checkpoints live when a call does not pass
 #: ``checkpoint_dir`` — set by the CLI's ``--checkpoint-dir`` flag.
 _default_checkpoint_dir: Optional[pathlib.Path] = None
@@ -200,6 +216,30 @@ def set_default_fault_plan(plan: Optional[FaultPlan]) -> None:
     """
     global _default_fault_plan
     _default_fault_plan = plan
+
+
+def set_default_channel(channel: Optional[ChannelConfig]) -> None:
+    """Set the channel config injected into variants that carry none.
+
+    The CLI's ``--loss``/``--hop-retries`` flags route through here so
+    every registry experiment can be run over a lossy channel.
+    """
+    global _default_channel
+    _default_channel = channel
+
+
+def set_default_route_ttl(ttl: Optional[int]) -> None:
+    """Force a route TTL onto every routing variant (``None`` = leave be)."""
+    if ttl is not None and ttl < 1:
+        raise ConfigurationError(f"route ttl must be >= 1, got {ttl}")
+    global _default_route_ttl
+    _default_route_ttl = ttl
+
+
+def set_default_check_invariants(check: Optional[bool]) -> None:
+    """Set the invariant-checking default for variants that leave it unset."""
+    global _default_check_invariants
+    _default_check_invariants = check
 
 
 def set_default_checkpoint_dir(directory: Union[str, pathlib.Path, None]) -> None:
@@ -246,19 +286,29 @@ def _resolve_limits(
     return timeout, retries
 
 
-def _with_default_fault_plan(
-    variants: Dict[str, Any]
-) -> Dict[str, Any]:
-    """Apply the module-default fault plan to variants that carry none."""
-    plan = _default_fault_plan
-    if plan is None:
-        return variants
-    return {
-        name: config
-        if config.fault_plan is not None
-        else dataclasses.replace(config, fault_plan=plan)
-        for name, config in variants.items()
-    }
+def _with_run_defaults(variants: Dict[str, Any]) -> Dict[str, Any]:
+    """Overlay the CLI-set module defaults onto every variant config.
+
+    Fault plan, channel, and invariant checking fill only unset fields
+    (a variant's own choice wins); the route TTL, when set, replaces the
+    variant's value — overriding it is the flag's whole purpose.
+    """
+    adjusted = {}
+    for name, config in variants.items():
+        changes: Dict[str, Any] = {}
+        if _default_fault_plan is not None and config.fault_plan is None:
+            changes["fault_plan"] = _default_fault_plan
+        if _default_channel is not None and config.channel is None:
+            changes["channel"] = _default_channel
+        if (
+            _default_check_invariants is not None
+            and config.check_invariants is None
+        ):
+            changes["check_invariants"] = _default_check_invariants
+        if _default_route_ttl is not None and hasattr(config, "route_ttl"):
+            changes["route_ttl"] = _default_route_ttl
+        adjusted[name] = dataclasses.replace(config, **changes) if changes else config
+    return adjusted
 
 
 def _sweep_fingerprint(
@@ -496,7 +546,7 @@ def run_mapping_variants(
     ``checkpoint_dir`` journals completed runs so an interrupted sweep
     resumes; ``task_timeout``/``task_retries`` bound each task.
     """
-    variants = _with_default_fault_plan(variants)
+    variants = _with_run_defaults(variants)
     timeout, retries = _resolve_limits(task_timeout, task_retries)
     checkpoint = _open_checkpoint(
         checkpoint_dir, "mapping", master_seed, generator_config, variants
@@ -560,7 +610,7 @@ def run_routing_variants(
     worker process.  Hardening knobs are as in
     :func:`run_mapping_variants`.
     """
-    variants = _with_default_fault_plan(variants)
+    variants = _with_run_defaults(variants)
     timeout, retries = _resolve_limits(task_timeout, task_retries)
     checkpoint = _open_checkpoint(
         checkpoint_dir, "routing", master_seed, generator_config, variants

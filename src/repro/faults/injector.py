@@ -149,6 +149,16 @@ class FaultInjector:
                     self._rng, sorted(self.world.topology.node_ids)
                 )
             target = (node,)
+        elif kind == "lossburst":
+            node = self._resolve_node(event)
+            channel = getattr(self.world, "channel", None)
+            applied = channel is not None and channel.set_burst(node, event.amount)
+            target = (node,)
+        elif kind == "lossclear":
+            node = self._resolve_node(event)
+            channel = getattr(self.world, "channel", None)
+            applied = channel is not None and channel.clear_burst(node)
+            target = (node,)
         else:  # pragma: no cover - FaultEvent validates kinds
             raise ConfigurationError(f"unknown fault kind {kind!r}")
         self.world.engine.hooks.fire(

@@ -29,6 +29,8 @@ Spec grammar (events separated by ``;``)::
     kill@25:a3        agent 3 is killed
     wipe@90:4         node 4's routing table is wiped
     corrupt@90:4      node 4's next hops are scrambled
+    lossburst@30:5:0.6  node 5's outgoing transfers gain 60% extra loss
+    lossclear@60:5    the loss burst on node 5 lifts
 
     policy=respawn    (anywhere in the spec) respawn policy for agents
                       whose node crashes: die | respawn | freeze
@@ -54,7 +56,18 @@ __all__ = [
 
 #: Every supported fault action.
 FAULT_KINDS = frozenset(
-    {"crash", "recover", "blackout", "restore", "shock", "kill", "wipe", "corrupt"}
+    {
+        "crash",
+        "recover",
+        "blackout",
+        "restore",
+        "shock",
+        "kill",
+        "wipe",
+        "corrupt",
+        "lossburst",
+        "lossclear",
+    }
 )
 
 #: What happens to agents standing on a node when it crashes:
@@ -64,7 +77,11 @@ FAULT_KINDS = frozenset(
 AGENT_POLICIES = ("die", "respawn", "freeze")
 
 #: Kinds whose target is a single node id (or ``gwK``).
-_NODE_KINDS = frozenset({"crash", "recover", "shock", "wipe", "corrupt"})
+_NODE_KINDS = frozenset(
+    {"crash", "recover", "shock", "wipe", "corrupt", "lossburst", "lossclear"}
+)
+#: Kinds that carry a ``(0, 1]`` amount in their spec form.
+_AMOUNT_KINDS = frozenset({"shock", "lossburst"})
 #: Kinds whose target is a directed edge ``u-v``.
 _EDGE_KINDS = frozenset({"blackout", "restore"})
 
@@ -106,9 +123,9 @@ class FaultEvent:
             raise ConfigurationError(
                 f"gateway-relative targets only apply to node faults, not {self.kind!r}"
             )
-        if self.kind == "shock" and not 0.0 < self.amount <= 1.0:
+        if self.kind in _AMOUNT_KINDS and not 0.0 < self.amount <= 1.0:
             raise ConfigurationError(
-                f"shock amount must be in (0, 1], got {self.amount}"
+                f"{self.kind} amount must be in (0, 1], got {self.amount}"
             )
 
     def describe(self) -> str:
@@ -121,7 +138,7 @@ class FaultEvent:
             target = f"gw{self.target[0]}"
         else:
             target = str(self.target[0])
-        suffix = f":{self.amount:g}" if self.kind == "shock" else ""
+        suffix = f":{self.amount:g}" if self.kind in _AMOUNT_KINDS else ""
         return f"{self.kind}@{self.time}:{target}{suffix}"
 
 
@@ -222,6 +239,22 @@ class FaultPlan:
     def corrupt_table(self, time: Time, node: int) -> "FaultPlan":
         """Scramble a node's routing-table next hops."""
         return self.adding(FaultEvent(time, "corrupt", (node,)))
+
+    def loss_burst(
+        self, time: Time, node: int, amount: float, gateway: bool = False
+    ) -> "FaultPlan":
+        """Make every transfer out of a node extra-lossy (fraction lost)."""
+        return self.adding(
+            FaultEvent(
+                time, "lossburst", (node,), amount=amount, gateway_relative=gateway
+            )
+        )
+
+    def loss_clear(self, time: Time, node: int, gateway: bool = False) -> "FaultPlan":
+        """Lift a node's loss burst."""
+        return self.adding(
+            FaultEvent(time, "lossclear", (node,), gateway_relative=gateway)
+        )
 
     # -- random churn ----------------------------------------------------
 

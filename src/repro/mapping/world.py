@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.comms import exchange_mapping_knowledge
 from repro.core.mapping_agents import MappingAgent, make_mapping_agent
+from repro.core.migration import ABANDONED, DELIVERED, ReliableMigration
 from repro.core.overhead import aggregate_overheads
 from repro.core.stigmergy import StigmergyField
 from repro.errors import ConfigurationError
@@ -34,10 +35,12 @@ from repro.faults.injector import FaultInjector
 from repro.faults.metrics import ResilienceReport, ResilienceTracker
 from repro.faults.plan import FaultPlan
 from repro.mapping.metrics import KnowledgeTracker
+from repro.net.channel import ChannelConfig, ChannelModel
 from repro.net.radio import HeterogeneousRange
 from repro.net.topology import Topology
 from repro.rng import SeedSpawner
 from repro.sim.engine import StopSimulation, TimeStepEngine
+from repro.sim.invariants import InvariantChecker, default_invariants_enabled
 from repro.types import NodeId, Time
 
 __all__ = ["MappingWorldConfig", "MappingResult", "MappingWorld"]
@@ -64,6 +67,11 @@ class MappingWorldConfig:
     degrade_fraction: float = 0.1
     degrade_amount: float = 0.3
     fault_plan: Optional[FaultPlan] = None
+    #: ``None`` means a lossless channel (identical to ``ChannelConfig()``).
+    channel: Optional[ChannelConfig] = None
+    #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
+    #: variable (tests switch it on); ``True``/``False`` force it.
+    check_invariants: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -109,6 +117,12 @@ class MappingWorld:
             capacity=config.footprint_capacity,
             freshness=config.footprint_freshness,
         )
+        self.channel = ChannelModel(
+            topology,
+            config.channel if config.channel is not None else ChannelConfig(),
+            self._spawner.seed_for("channel"),
+        )
+        self._migration = ReliableMigration(self.channel)
         self.agents: List[MappingAgent] = self._spawn_agents()
         self.tracker = KnowledgeTracker(topology.edge_count)
         # Once the topology can mutate mid-run, completeness has to be
@@ -126,6 +140,11 @@ class MappingWorld:
             self.resilience = ResilienceTracker(
                 self.engine.hooks, "knowledge_recorded", "average"
             )
+        self.invariants: Optional[InvariantChecker] = None
+        check = config.check_invariants
+        if check or (check is None and default_invariants_enabled()):
+            self.invariants = InvariantChecker(self)
+            self.invariants.install()
         self.engine.add_process(self._step)
         if config.degrade_at is not None:
             self.engine.schedule_at(
@@ -203,18 +222,39 @@ class MappingWorld:
             agent.observe(neighbors, now)
         # Phase 2: meetings.
         if self.config.cooperation and len(agents) > 1:
-            self.meetings += exchange_mapping_knowledge(agents)
-        # Phases 3 & 4: choose, footprint; moves commit afterwards.
+            self.meetings += exchange_mapping_knowledge(
+                agents, channel=self.channel, now=now
+            )
+        # Phases 3 & 4: choose (or retry a pending hop), footprint; moves
+        # commit afterwards, each gated on the channel delivering it.
         moves: List[Tuple[MappingAgent, NodeId]] = []
         for agent in agents:
-            target = agent.choose_next(
-                neighbor_cache[agent.location], now, field=self.field
+            neighbors = neighbor_cache[agent.location]
+            needs_decision, forced = self._migration.resolve_intent(
+                agent, now, neighbors
             )
-            if target is None:
-                continue
-            agent.leave_footprint(target, now, self.field)
+            if needs_decision:
+                target = agent.choose_next(neighbors, now, field=self.field)
+                if target is None:
+                    continue
+                agent.leave_footprint(target, now, self.field)
+            elif forced is None:
+                continue  # waiting out a backoff
+            else:
+                target = forced  # retry without re-planning or re-stamping
             moves.append((agent, target))
         for agent, target in moves:
+            outcome = self._migration.attempt_hop(agent, target, now)
+            if outcome != DELIVERED:
+                if outcome == ABANDONED:
+                    self.engine.hooks.fire(
+                        "link_suspected",
+                        time=now,
+                        node=agent.location,
+                        neighbor=target,
+                        dropped=0,
+                    )
+                continue
             agent.move_to(target)
             self.engine.hooks.fire(
                 "agent_moved", time=now, agent=agent.agent_id, to=target

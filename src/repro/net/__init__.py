@@ -7,6 +7,15 @@ recomputed as nodes move.
 """
 
 from repro.net.battery import Battery, ExponentialDrain, LinearDrain, NoDrain
+from repro.net.channel import (
+    BatteryLoss,
+    ChannelConfig,
+    ChannelModel,
+    CompositeLoss,
+    DistanceLoss,
+    FixedLoss,
+    parse_channel_spec,
+)
 from repro.net.generator import (
     GeneratorConfig,
     MANET_PRESET,
@@ -43,6 +52,13 @@ __all__ = [
     "RandomWaypoint",
     "Node",
     "Topology",
+    "ChannelConfig",
+    "ChannelModel",
+    "FixedLoss",
+    "DistanceLoss",
+    "BatteryLoss",
+    "CompositeLoss",
+    "parse_channel_spec",
     "NetworkGenerator",
     "GeneratorConfig",
     "MAPPING_PRESET",

@@ -1,0 +1,372 @@
+"""Lossy-channel model: per-attempt success of agent transfers.
+
+The paper's environment is "more realistic" than Minar's mainly through
+heterogeneous directed links and battery-driven degradation (§II-A,
+§III-A) — but the reproduction so far still assumed every agent hop and
+every co-location exchange *succeeds*.  Real wireless transfers fail.
+This module supplies the missing idealisation-breaker: a seeded,
+deterministic :class:`ChannelModel` that decides, per attempt, whether a
+migration or meeting payload gets through.
+
+Loss policies are pluggable and composable:
+
+* :class:`FixedLoss` — a constant per-attempt loss probability,
+* :class:`DistanceLoss` — loss grows toward the edge of the *sender's*
+  current radio range (a link that barely exists barely works),
+* :class:`BatteryLoss` — a depleting sender gets flakier (composing
+  naturally with :class:`~repro.net.radio.BatteryCoupledRange`, which
+  shrinks the range the distance term is measured against),
+* :class:`CompositeLoss` — independent failure modes combine as
+  ``1 - prod(1 - p_i)``.
+
+Determinism is *keyed*, not sequential: each attempt draws a uniform
+value from ``hash(seed, step, key)`` instead of advancing a stateful
+RNG.  Two consequences the rest of the system relies on:
+
+* an attempt's outcome cannot depend on the order in which agents are
+  iterated (meeting exchanges stay order-independent under loss), and
+* a lossless channel (``p == 0`` everywhere) draws **nothing** — runs
+  with a disabled channel and runs with ``loss=0`` are bit-identical,
+  so every pre-existing seeded experiment is untouched.
+
+Transient *loss bursts* (a node's links turning bad for a while) are
+driven by the fault layer — see ``lossburst``/``lossclear`` in
+:mod:`repro.faults.plan` — and stack multiplicatively on the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.net.topology import Topology
+from repro.rng import derive_seed
+from repro.types import NodeId, Time
+
+__all__ = [
+    "ChannelConfig",
+    "LossPolicy",
+    "FixedLoss",
+    "DistanceLoss",
+    "BatteryLoss",
+    "CompositeLoss",
+    "policy_from_config",
+    "ChannelStats",
+    "ChannelModel",
+    "parse_channel_spec",
+]
+
+#: Denominator turning a 64-bit keyed hash into a uniform draw in [0, 1).
+_DRAW_SPAN = float(2**64)
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Loss-model and reliable-migration knobs for one world.
+
+    Frozen and hashable so it can ride inside the (also frozen) world
+    configs, pickle across ``multiprocessing`` workers, and key sweep
+    checkpoints.  The three loss terms compose as independent failure
+    modes; all-zero terms mean a lossless channel and the fast no-draw
+    path.
+
+    ``hop_retries``/``backoff_base`` parameterise the reliable-migration
+    protocol built on top of the channel: a failed hop is retried up to
+    ``hop_retries`` times, waiting ``backoff_base * 2**(failures-1)``
+    simulation steps between attempts, before the agent abandons the
+    target and re-plans via its normal policy.
+    """
+
+    #: constant per-attempt loss probability.
+    loss: float = 0.0
+    #: extra loss at the far edge of the sender's radio range.
+    distance_factor: float = 0.0
+    #: shape of the distance term (2.0 ~ inverse-square-ish falloff).
+    distance_exponent: float = 2.0
+    #: extra loss for a sender whose battery is empty.
+    battery_factor: float = 0.0
+    #: bounded retries before a failed hop is abandoned.
+    hop_retries: int = 3
+    #: first retry waits this many steps; each further retry doubles it.
+    backoff_base: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "distance_factor", "battery_factor"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.distance_exponent <= 0:
+            raise ConfigurationError(
+                f"distance_exponent must be positive, got {self.distance_exponent}"
+            )
+        if self.hop_retries < 0:
+            raise ConfigurationError(
+                f"hop_retries must be >= 0, got {self.hop_retries}"
+            )
+        if self.backoff_base < 1:
+            raise ConfigurationError(
+                f"backoff_base must be >= 1, got {self.backoff_base}"
+            )
+
+    @property
+    def lossless(self) -> bool:
+        """Whether this config can never lose an attempt (no bursts)."""
+        return (
+            self.loss == 0.0
+            and self.distance_factor == 0.0
+            and self.battery_factor == 0.0
+        )
+
+
+class LossPolicy(Protocol):
+    """Strategy giving the loss probability of one transfer attempt."""
+
+    def loss_probability(self, source: Node, destination: Node) -> float:
+        """Probability in ``[0, 1]`` that ``source -> destination`` fails."""
+        ...
+
+
+class FixedLoss:
+    """Every attempt fails with the same probability."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1], got {probability}"
+            )
+        self.probability = probability
+
+    def loss_probability(self, source: Node, destination: Node) -> float:
+        return self.probability
+
+
+class DistanceLoss:
+    """Loss proportional to how deep into the sender's range the hop is.
+
+    ``p = factor * min(1, distance / range(source)) ** exponent`` — a
+    target at the sender's feet is safe, one at the rim of the radio
+    range fails with up to ``factor``.  A sender whose effective range
+    collapsed to zero cannot deliver at all.
+    """
+
+    def __init__(self, factor: float, exponent: float = 2.0) -> None:
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigurationError(f"factor must be in [0, 1], got {factor}")
+        if exponent <= 0:
+            raise ConfigurationError(f"exponent must be positive, got {exponent}")
+        self.factor = factor
+        self.exponent = exponent
+
+    def loss_probability(self, source: Node, destination: Node) -> float:
+        if source is destination:
+            return 0.0
+        radius = source.current_range()
+        if radius <= 0.0:
+            return 1.0
+        ratio = min(1.0, source.position.distance_to(destination.position) / radius)
+        return self.factor * ratio**self.exponent
+
+
+class BatteryLoss:
+    """A depleting sender gets flakier: ``p = factor * (1 - level)``."""
+
+    def __init__(self, factor: float) -> None:
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigurationError(f"factor must be in [0, 1], got {factor}")
+        self.factor = factor
+
+    def loss_probability(self, source: Node, destination: Node) -> float:
+        return self.factor * (1.0 - source.battery.level)
+
+
+class CompositeLoss:
+    """Independent failure modes: ``p = 1 - prod(1 - p_i)``."""
+
+    def __init__(self, policies: Sequence[LossPolicy]) -> None:
+        self.policies = tuple(policies)
+
+    def loss_probability(self, source: Node, destination: Node) -> float:
+        survive = 1.0
+        for policy in self.policies:
+            survive *= 1.0 - policy.loss_probability(source, destination)
+        return 1.0 - survive
+
+
+def policy_from_config(config: ChannelConfig) -> LossPolicy:
+    """Build the composite policy a :class:`ChannelConfig` describes."""
+    terms = []
+    if config.loss > 0.0:
+        terms.append(FixedLoss(config.loss))
+    if config.distance_factor > 0.0:
+        terms.append(DistanceLoss(config.distance_factor, config.distance_exponent))
+    if config.battery_factor > 0.0:
+        terms.append(BatteryLoss(config.battery_factor))
+    if not terms:
+        return FixedLoss(0.0)
+    if len(terms) == 1:
+        return terms[0]
+    return CompositeLoss(terms)
+
+
+@dataclass
+class ChannelStats:
+    """Channel-level delivery accounting (diagnostics)."""
+
+    attempts: int = 0
+    losses: int = 0
+    #: per-kind loss counts, keyed by the prefix of the attempt key.
+    losses_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed fraction of attempts lost."""
+        return self.losses / self.attempts if self.attempts else 0.0
+
+
+class ChannelModel:
+    """Seeded, deterministic per-attempt transfer success for one world.
+
+    Every decision draws from ``hash(seed, time, key)`` so outcomes are
+    a pure function of the attempt's identity — independent of agent
+    iteration order and identical between serial and pooled runs.  A
+    channel whose effective probability is zero returns success without
+    hashing at all.
+    """
+
+    def __init__(self, topology: Topology, config: ChannelConfig, seed: int) -> None:
+        self.topology = topology
+        self.config = config
+        self._policy = policy_from_config(config)
+        self._seed = seed
+        self._bursts: Dict[NodeId, float] = {}
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    # Probability
+    # ------------------------------------------------------------------
+
+    def loss_probability(self, source: NodeId, destination: NodeId) -> float:
+        """Current loss probability of ``source -> destination``."""
+        probability = self._policy.loss_probability(
+            self.topology.node(source), self.topology.node(destination)
+        )
+        burst = self._bursts.get(source)
+        if burst is not None:
+            probability = 1.0 - (1.0 - probability) * (1.0 - burst)
+        return min(1.0, max(0.0, probability))
+
+    # ------------------------------------------------------------------
+    # Attempts
+    # ------------------------------------------------------------------
+
+    def attempt(self, source: NodeId, destination: NodeId, now: Time, key: str) -> bool:
+        """Whether one keyed transfer attempt succeeds.
+
+        ``key`` names the attempt within the step (e.g. ``hop:7`` or
+        ``meet:3``); the same ``(now, key)`` always yields the same
+        outcome for a given seed and probability.
+        """
+        if self.config.lossless and not self._bursts:
+            self.stats.attempts += 1
+            return True
+        probability = self.loss_probability(source, destination)
+        self.stats.attempts += 1
+        if probability <= 0.0:
+            return True
+        if probability < 1.0:
+            draw = derive_seed(self._seed, f"{now}:{key}") / _DRAW_SPAN
+            if draw >= probability:
+                return True
+        self.stats.losses += 1
+        kind = key.split(":", 1)[0]
+        self.stats.losses_by_kind[kind] = self.stats.losses_by_kind.get(kind, 0) + 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Loss bursts (fault layer)
+    # ------------------------------------------------------------------
+
+    def set_burst(self, node: NodeId, probability: float) -> bool:
+        """Make every link out of ``node`` extra-lossy until cleared.
+
+        Returns whether the state changed (re-applying the same burst is
+        a no-op, keeping fault plans idempotent).
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError(
+                f"burst probability must be in (0, 1], got {probability}"
+            )
+        self.topology.node(node)  # validate the id
+        if self._bursts.get(node) == probability:
+            return False
+        self._bursts[node] = probability
+        return True
+
+    def clear_burst(self, node: NodeId) -> bool:
+        """Lift a loss burst; returns whether the state changed."""
+        return self._bursts.pop(node, None) is not None
+
+    @property
+    def active_bursts(self) -> Dict[NodeId, float]:
+        """Currently bursting nodes and their extra loss (a copy)."""
+        return dict(self._bursts)
+
+
+def parse_channel_spec(spec: str) -> ChannelConfig:
+    """Parse the CLI's ``--loss`` spec into a :class:`ChannelConfig`.
+
+    A bare number is a fixed loss probability (``--loss 0.2``); the long
+    form is comma-separated ``key=value`` pairs::
+
+        fixed=0.1,distance=0.3,exponent=2,battery=0.2,retries=4,backoff=2
+
+    Raises :class:`~repro.errors.ConfigurationError` on malformed input.
+    """
+    text = spec.strip()
+    if not text:
+        raise ConfigurationError("empty channel spec")
+    try:
+        return ChannelConfig(loss=float(text))
+    except ValueError:
+        pass
+    values: Dict[str, float] = {}
+    for raw_pair in text.split(","):
+        pair = raw_pair.strip()
+        if not pair:
+            continue
+        name, separator, value = pair.partition("=")
+        if not separator:
+            raise ConfigurationError(
+                f"malformed channel spec segment {pair!r}; expected 'key=value'"
+            )
+        try:
+            values[name.strip()] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed channel spec value in {pair!r}"
+            ) from None
+    aliases = {
+        "fixed": "loss",
+        "loss": "loss",
+        "distance": "distance_factor",
+        "exponent": "distance_exponent",
+        "exp": "distance_exponent",
+        "battery": "battery_factor",
+        "retries": "hop_retries",
+        "backoff": "backoff_base",
+    }
+    kwargs: Dict[str, float] = {}
+    for name, value in values.items():
+        target = aliases.get(name)
+        if target is None:
+            raise ConfigurationError(
+                f"unknown channel spec key {name!r}; "
+                f"expected one of {sorted(set(aliases))}"
+            )
+        if target in ("hop_retries", "backoff_base"):
+            kwargs[target] = int(value)
+        else:
+            kwargs[target] = value
+    return ChannelConfig(**kwargs)

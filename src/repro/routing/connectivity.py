@@ -17,7 +17,7 @@ over the small extra work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.net.topology import Topology
 from repro.routing.table import TableBank

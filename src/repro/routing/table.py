@@ -8,6 +8,18 @@ time, then fewest hops.  Entries expire after ``ttl`` steps: in a MANET
 a route installed long ago points along links that have likely moved
 away, and expiry is what makes connectivity fluctuate rather than
 saturate.
+
+Staleness is controlled on two axes:
+
+* **age** — TTL expiry drops entries whose local link pointer is old,
+* **sequence** — each table keeps, per gateway, the highest sequence
+  number it has ever accepted (the installing agent's gateway-sighting
+  time).  An arriving entry with a *lower* sequence is rejected even if
+  the slot is currently empty: a late, worse route delivered by a slow
+  or retried carrier can never overwrite — or resurrect after expiry —
+  information the node already had fresher.  The floors survive entry
+  expiry (that is the point) and reset only when the node itself loses
+  its table (crash / ``clear``).
 """
 
 from __future__ import annotations
@@ -39,6 +51,10 @@ class RouteEntry:
     hops: int
     installed_at: Time
     gateway_seen_at: Time = 0
+    #: monotonic staleness stamp, compared against the table's
+    #: per-gateway floor on install (worlds stamp the gateway-sighting
+    #: time).  The default 0 keeps sequence-unaware callers working.
+    sequence: int = 0
 
     def fresher_than(self, other: "RouteEntry") -> bool:
         """Replacement order: newer gateway sighting, then fewer hops,
@@ -58,6 +74,9 @@ class RoutingTable:
             raise RoutingError(f"ttl must be >= 1 or None, got {ttl}")
         self.ttl = ttl
         self._entries: Dict[NodeId, RouteEntry] = {}
+        #: per-gateway high-water mark of accepted sequence numbers;
+        #: survives TTL expiry so resurrection of stale routes is barred.
+        self._sequence_floors: Dict[NodeId, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -65,15 +84,25 @@ class RoutingTable:
     def install(self, entry: RouteEntry) -> bool:
         """Install ``entry`` unless a better route to its gateway exists.
 
-        Returns whether the table changed.
+        An entry whose sequence number is below the table's per-gateway
+        floor is rejected outright — even into an empty slot — so a
+        delayed carrier cannot reintroduce information the node already
+        saw fresher.  Returns whether the table changed.
         """
         if entry.hops < 1:
             raise RoutingError(f"a route must be at least 1 hop, got {entry.hops}")
+        if entry.sequence < self._sequence_floors.get(entry.gateway, 0):
+            return False
         current = self._entries.get(entry.gateway)
         if current is None or entry.fresher_than(current):
             self._entries[entry.gateway] = entry
+            self._sequence_floors[entry.gateway] = entry.sequence
             return True
         return False
+
+    def sequence_floor(self, gateway: NodeId) -> int:
+        """The lowest sequence number still accepted toward ``gateway``."""
+        return self._sequence_floors.get(gateway, 0)
 
     def expire(self, now: Time) -> int:
         """Drop entries older than ``ttl``; returns how many were dropped."""
@@ -100,9 +129,18 @@ class RoutingTable:
         """The current entry toward ``gateway`` (or ``None``)."""
         return self._entries.get(gateway)
 
+    def entries(self) -> List[RouteEntry]:
+        """All current entries in gateway order (cheap, unranked)."""
+        return [self._entries[gateway] for gateway in sorted(self._entries)]
+
     def clear(self) -> None:
-        """Drop every entry."""
+        """Drop every entry and forget the sequence floors.
+
+        Clearing models the node losing its table wholesale (a crash);
+        the reborn node has no memory of what it once accepted.
+        """
         self._entries.clear()
+        self._sequence_floors.clear()
 
     def drop_routes_via(self, node: NodeId) -> int:
         """Drop entries that lead through or toward a dead ``node``.
@@ -115,6 +153,23 @@ class RoutingTable:
             gateway
             for gateway, entry in self._entries.items()
             if entry.next_hop == node or entry.gateway == node
+        ]
+        for gateway in doomed:
+            del self._entries[gateway]
+        return len(doomed)
+
+    def drop_routes_via_next_hop(self, node: NodeId) -> int:
+        """Drop entries whose *next hop* is ``node`` (link suspicion).
+
+        Unlike :meth:`drop_routes_via`, entries whose **gateway** is
+        ``node`` survive: an unreachable neighbour says nothing about
+        the gateway itself, only about this one outgoing link.  Returns
+        how many entries were dropped.
+        """
+        doomed = [
+            gateway
+            for gateway, entry in self._entries.items()
+            if entry.next_hop == node
         ]
         for gateway in doomed:
             del self._entries[gateway]
@@ -137,6 +192,7 @@ class RoutingTable:
                 hops=entry.hops,
                 installed_at=entry.installed_at,
                 gateway_seen_at=entry.gateway_seen_at,
+                sequence=entry.sequence,
             )
         return len(self._entries)
 

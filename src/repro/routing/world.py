@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.ant_agents import AntRoutingAgent
 from repro.core.comms import exchange_routing_knowledge
+from repro.core.migration import ABANDONED, DELIVERED, ReliableMigration
 from repro.core.overhead import aggregate_overheads
 from repro.core.routing_agents import RoutingAgent, make_routing_agent
 from repro.core.stigmergy import StigmergyField
@@ -30,12 +31,14 @@ from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.faults.metrics import ResilienceReport, ResilienceTracker
 from repro.faults.plan import FaultPlan
+from repro.net.channel import ChannelConfig, ChannelModel
 from repro.net.topology import Topology
 from repro.routing.connectivity import DEFAULT_WALK_TTL, connectivity_fraction
 from repro.core.pheromone import PheromoneField
 from repro.routing.table import RouteEntry, TableBank
 from repro.rng import SeedSpawner
 from repro.sim.engine import TimeStepEngine
+from repro.sim.invariants import InvariantChecker, default_invariants_enabled
 from repro.types import NodeId, Time
 
 __all__ = ["RoutingWorldConfig", "RoutingResult", "RoutingWorld", "run_routing"]
@@ -61,6 +64,13 @@ class RoutingWorldConfig:
     ant_follow_probability: float = 0.85
     # --- fault injection ----------------------------------------------
     fault_plan: Optional[FaultPlan] = None
+    # --- lossy channel -------------------------------------------------
+    #: ``None`` means a lossless channel (identical to ``ChannelConfig()``).
+    channel: Optional[ChannelConfig] = None
+    # --- runtime invariant checking -------------------------------------
+    #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
+    #: variable (tests switch it on); ``True``/``False`` force it.
+    check_invariants: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -135,6 +145,12 @@ class RoutingWorld:
             freshness=config.footprint_freshness,
         )
         self._gateways = set(topology.gateway_ids)
+        self.channel = ChannelModel(
+            topology,
+            config.channel if config.channel is not None else ChannelConfig(),
+            self._spawner.seed_for("channel"),
+        )
+        self._migration = ReliableMigration(self.channel)
         self.agents: List[RoutingAgent] = self._spawn_agents()
         self.pheromone: Optional[PheromoneField] = None
         ants = [agent for agent in self.agents if isinstance(agent, AntRoutingAgent)]
@@ -155,6 +171,11 @@ class RoutingWorld:
             self.resilience = ResilienceTracker(
                 self.engine.hooks, "connectivity_recorded", "fraction"
             )
+        self.invariants: Optional[InvariantChecker] = None
+        check = config.check_invariants
+        if check or (check is None and default_invariants_enabled()):
+            self.invariants = InvariantChecker(self)
+            self.invariants.install()
         self.engine.add_process(self._step)
 
     # ------------------------------------------------------------------
@@ -210,25 +231,44 @@ class RoutingWorld:
         if self.pheromone is not None:
             self.pheromone.evaporate()
         agents = self._active_agents()
-        # Phase 1: every agent decides from the *new* neighbourhood.
-        decisions: List[Optional[NodeId]] = [
-            agent.decide(
-                sorted(topology.out_neighbors(agent.location)), now, field=self.field
+        # Phase 1: every agent decides from the *new* neighbourhood — or,
+        # mid-migration, retries/waits per the reliable-hop protocol.
+        decisions: List[Optional[NodeId]] = []
+        footprint_due: List[bool] = []
+        for agent in agents:
+            neighbors = topology.out_neighbors(agent.location)
+            needs_decision, forced = self._migration.resolve_intent(
+                agent, now, neighbors
             )
-            for agent in agents
-        ]
+            if needs_decision:
+                decisions.append(agent.decide(sorted(neighbors), now, field=self.field))
+                footprint_due.append(True)
+            else:
+                # Forced retry keeps the original intent; waiting out a
+                # backoff yields no target.  Neither re-stamps footprints.
+                decisions.append(forced)
+                footprint_due.append(False)
         # Phase 2: visiting agents exchange knowledge where co-located.
         if config.visiting:
-            self.result.meetings += exchange_routing_knowledge(agents)
-        # Phases 3 & 4: move and install routes.
+            self.result.meetings += exchange_routing_knowledge(
+                agents, channel=self.channel, now=now
+            )
+        # Phases 3 & 4: move (if the channel delivers) and install routes.
         moves: List[Tuple[RoutingAgent, NodeId]] = []
-        for agent, target in zip(agents, decisions):
+        for agent, target, fresh in zip(agents, decisions, footprint_due):
             if target is None:
                 agent.stay(now, here_is_gateway=self._is_live_gateway(agent.location))
             else:
-                agent.leave_footprint(target, now, self.field)
+                if fresh:
+                    agent.leave_footprint(target, now, self.field)
                 moves.append((agent, target))
         for agent, target in moves:
+            outcome = self._migration.attempt_hop(agent, target, now)
+            if outcome != DELIVERED:
+                agent.stay(now, here_is_gateway=self._is_live_gateway(agent.location))
+                if outcome == ABANDONED:
+                    self._suspect_link(agent, target, now)
+                continue
             came_from = agent.move_to(target, now, self._is_live_gateway(target))
             table = self.tables.table(agent.location)
             for gateway, next_hop, hops, seen_at in agent.installable_routes(came_from):
@@ -240,6 +280,7 @@ class RoutingWorld:
                         hops=hops,
                         installed_at=now,
                         gateway_seen_at=seen_at,
+                        sequence=seen_at,
                     )
                 )
         # Metric.
@@ -247,6 +288,24 @@ class RoutingWorld:
         self.result.times.append(now)
         self.result.connectivity.append(fraction)
         self.engine.hooks.fire("connectivity_recorded", time=now, fraction=fraction)
+
+    def _suspect_link(self, agent: RoutingAgent, target: NodeId, now: Time) -> None:
+        """Turn an abandoned hop into link-quality evidence.
+
+        ``hop_retries`` consecutive losses toward one neighbour say the
+        link is effectively dead even if the topology still lists it;
+        routes at the agent's node that forward through that neighbour
+        are dropped so the connectivity metric stops trusting them.
+        """
+        dropped = self.tables.table(agent.location).drop_routes_via_next_hop(target)
+        agent.overhead.routes_invalidated += dropped
+        self.engine.hooks.fire(
+            "link_suspected",
+            time=now,
+            node=agent.location,
+            neighbor=target,
+            dropped=dropped,
+        )
 
     # ------------------------------------------------------------------
     # Driving

@@ -1,0 +1,178 @@
+"""Runtime cross-layer invariant checking.
+
+A seeded simulation that silently enters an inconsistent state is worse
+than one that crashes: every metric computed afterwards is quietly
+wrong.  :class:`InvariantChecker` subscribes to the engine's
+``step_end`` hook and validates, after every step, the contracts the
+layers rely on but none of them owns:
+
+* every *acting* agent stands on a live, existing node (a frozen agent
+  may legally wait on a crashed node — it is suspended, not acting),
+* no routing-table entry points at a crashed next hop, references an
+  unknown node, claims fewer than one hop, or outlives its TTL,
+* every stigmergy footprint lives on a live, existing node and points
+  at an existing node,
+* the link topology never exposes a down node or a blocked edge through
+  ``out_neighbors`` — which is exactly the view the connectivity metric
+  walks, so connectivity can never be computed through a down link.
+
+The checker is opt-in per world (``check_invariants`` in the world
+configs, ``--check-invariants`` on the CLI) and on by default under the
+test suite via the ``REPRO_CHECK_INVARIANTS`` environment variable.  A
+violation raises :class:`~repro.errors.InvariantError` naming every
+broken contract; pass ``raise_on_violation=False`` to collect instead
+(the ``loss1`` experiment reports the count across its sweep).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List
+
+from repro.errors import InvariantError
+from repro.types import Time
+
+__all__ = ["InvariantChecker", "default_invariants_enabled"]
+
+#: Environment variable that switches the default on (tests set it).
+ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+
+
+def default_invariants_enabled() -> bool:
+    """Whether worlds with ``check_invariants=None`` should check.
+
+    Controlled by the ``REPRO_CHECK_INVARIANTS`` environment variable;
+    unset, empty, ``0``, ``false``, ``no``, and ``off`` mean disabled.
+    """
+    value = os.environ.get(ENV_FLAG, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+class InvariantChecker:
+    """Validates one world's cross-layer state after every step.
+
+    World-agnostic via the same ``getattr`` protocol the fault injector
+    uses: ``topology`` and ``agents`` are required; ``tables``,
+    ``field``, and ``injector`` are consulted when present.
+    """
+
+    def __init__(self, world: Any, raise_on_violation: bool = True) -> None:
+        self.world = world
+        self.raise_on_violation = raise_on_violation
+        #: steps validated so far.
+        self.checks = 0
+        #: every violation message collected across the run.
+        self.violations: List[str] = []
+        self._installed = False
+
+    def install(self) -> None:
+        """Subscribe to the engine's ``step_end`` hook (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        self.world.engine.hooks.subscribe("step_end", self._on_step_end)
+
+    def _on_step_end(self, time: Time, **_: Any) -> None:
+        self.check_now(time)
+
+    def check_now(self, now: Time) -> List[str]:
+        """Scan the world; record, and possibly raise, any violations."""
+        problems = self.scan(now)
+        self.checks += 1
+        if problems:
+            self.violations.extend(problems)
+            if self.raise_on_violation:
+                raise InvariantError(
+                    f"invariant violation(s) at step {now}: " + "; ".join(problems)
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # The scan
+    # ------------------------------------------------------------------
+
+    def scan(self, now: Time) -> List[str]:
+        """Every currently broken contract, as human-readable messages."""
+        problems: List[str] = []
+        topology = self.world.topology
+        node_ids = set(topology.node_ids)
+        down = topology.down_ids
+        self._scan_agents(problems, node_ids, down)
+        self._scan_tables(problems, now, node_ids, down)
+        self._scan_footprints(problems, node_ids, down)
+        self._scan_topology(problems, node_ids, down)
+        return problems
+
+    def _acting_agents(self) -> List[Any]:
+        injector = getattr(self.world, "injector", None)
+        if injector is not None:
+            return injector.active_agents()
+        return list(self.world.agents)
+
+    def _scan_agents(self, problems: List[str], node_ids, down) -> None:
+        for agent in self._acting_agents():
+            if agent.location not in node_ids:
+                problems.append(
+                    f"agent {agent.agent_id} stands on unknown node {agent.location}"
+                )
+            elif agent.location in down:
+                problems.append(
+                    f"agent {agent.agent_id} acts on down node {agent.location}"
+                )
+
+    def _scan_tables(self, problems: List[str], now: Time, node_ids, down) -> None:
+        tables = getattr(self.world, "tables", None)
+        if tables is None:
+            return
+        for node in sorted(node_ids):
+            for entry in tables.table(node).entries():
+                where = f"table of node {node}, gateway {entry.gateway}"
+                if entry.gateway not in node_ids or entry.next_hop not in node_ids:
+                    problems.append(f"{where}: references unknown node")
+                    continue
+                if entry.next_hop in down:
+                    problems.append(
+                        f"{where}: next hop {entry.next_hop} is down"
+                    )
+                if entry.hops < 1:
+                    problems.append(f"{where}: claims {entry.hops} hops")
+                ttl = tables.ttl
+                if ttl is not None and entry.installed_at < now - ttl:
+                    problems.append(
+                        f"{where}: entry installed at {entry.installed_at} "
+                        f"outlived ttl {ttl} at step {now}"
+                    )
+
+    def _scan_footprints(self, problems: List[str], node_ids, down) -> None:
+        field = getattr(self.world, "field", None)
+        if field is None:
+            return
+        for node, board in field.items():
+            if len(board) == 0:
+                continue
+            if node not in node_ids:
+                problems.append(f"footprint board on unknown node {node}")
+                continue
+            if node in down:
+                problems.append(f"footprint board survives on down node {node}")
+            for mark in board.all_marks():
+                if mark.target not in node_ids:
+                    problems.append(
+                        f"footprint on node {node} points at unknown "
+                        f"node {mark.target}"
+                    )
+
+    def _scan_topology(self, problems: List[str], node_ids, down) -> None:
+        topology = self.world.topology
+        blocked = topology.blocked_edges
+        for node in sorted(node_ids):
+            neighbors = topology.out_neighbors(node)
+            if node in down and neighbors:
+                problems.append(f"down node {node} still has out-links")
+            for neighbor in neighbors:
+                if neighbor in down:
+                    problems.append(
+                        f"link {node}->{neighbor} leads to a down node"
+                    )
+                if (node, neighbor) in blocked:
+                    problems.append(f"blocked link {node}->{neighbor} is exposed")

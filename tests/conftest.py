@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.net.generator import GeneratorConfig, NetworkGenerator
 from repro.net.manual import fixed_topology
+
+# Runtime cross-layer invariant checking is on by default under the test
+# suite: every world built by any test validates its state after every
+# step unless its config forces ``check_invariants=False``.
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
 
 
 @pytest.fixture

@@ -69,6 +69,8 @@ class TestFaultPlan:
             .kill_agent(14, 0)
             .wipe_table(15, 3)
             .corrupt_table(16, 3)
+            .loss_burst(17, 4, 0.5)
+            .loss_clear(18, 4)
         )
         assert {e.kind for e in plan.events} == FAULT_KINDS
 

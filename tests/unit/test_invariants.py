@@ -1,0 +1,185 @@
+"""Unit tests for the runtime cross-layer invariant checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvariantError
+from repro.mapping.world import MappingWorld, MappingWorldConfig
+from repro.routing.table import RouteEntry
+from repro.routing.world import RoutingWorld, RoutingWorldConfig
+from repro.sim.invariants import ENV_FLAG, InvariantChecker, default_invariants_enabled
+
+
+def routing_config(**overrides):
+    defaults = dict(
+        agent_kind="oldest-node",
+        population=4,
+        history_size=8,
+        total_steps=30,
+        converged_after=15,
+    )
+    defaults.update(overrides)
+    return RoutingWorldConfig(**defaults)
+
+
+class TestDefaultEnabled:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert default_invariants_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", " OFF "])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert not default_invariants_enabled()
+
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not default_invariants_enabled()
+
+
+class TestWorldWiring:
+    def test_config_true_installs_checker(self, gateway_line4, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "0")
+        world = RoutingWorld(
+            gateway_line4, routing_config(check_invariants=True), seed=3
+        )
+        assert world.invariants is not None
+
+    def test_config_false_wins_over_env(self, gateway_line4, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        world = RoutingWorld(
+            gateway_line4, routing_config(check_invariants=False), seed=3
+        )
+        assert world.invariants is None
+
+    def test_config_none_defers_to_env(self, gateway_line4, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "0")
+        assert RoutingWorld(gateway_line4, routing_config(), seed=3).invariants is None
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert (
+            RoutingWorld(gateway_line4, routing_config(), seed=3).invariants
+            is not None
+        )
+
+    def test_checker_runs_every_step_of_a_healthy_run(self, gateway_line4):
+        world = RoutingWorld(
+            gateway_line4, routing_config(check_invariants=True), seed=3
+        )
+        world.run()
+        assert world.invariants.checks == world.config.total_steps
+        assert world.invariants.violations == []
+
+    def test_mapping_world_wires_checker_too(self, line5):
+        config = MappingWorldConfig(
+            agent_kind="conscientious",
+            population=3,
+            max_steps=50,
+            check_invariants=True,
+        )
+        world = MappingWorld(line5, config, seed=4)
+        assert world.invariants is not None
+        world.run()
+        assert world.invariants.checks > 0
+        assert world.invariants.violations == []
+
+
+class TestPlantedViolations:
+    def _world(self, topology):
+        # check_invariants=False: we drive the checker by hand.
+        return RoutingWorld(
+            topology, routing_config(check_invariants=False), seed=5
+        )
+
+    def test_healthy_world_scans_clean(self, gateway_line4):
+        world = self._world(gateway_line4)
+        checker = InvariantChecker(world)
+        assert checker.scan(now=0) == []
+        assert checker.check_now(now=0) == []
+        assert checker.checks == 1
+
+    def test_route_entry_with_down_next_hop(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.tables.table(2).install(
+            RouteEntry(gateway=0, next_hop=1, hops=2, installed_at=0)
+        )
+        world.topology.set_node_down(1)
+        checker = InvariantChecker(world)
+        with pytest.raises(InvariantError, match="next hop 1 is down"):
+            checker.check_now(now=1)
+        assert checker.violations  # recorded even though it raised
+
+    def test_route_entry_referencing_unknown_node(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.tables.table(2).install(
+            RouteEntry(gateway=0, next_hop=99, hops=2, installed_at=0)
+        )
+        checker = InvariantChecker(world, raise_on_violation=False)
+        problems = checker.check_now(now=1)
+        assert any("unknown node" in p for p in problems)
+
+    def test_route_entry_outliving_ttl(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.tables.table(2).install(
+            RouteEntry(gateway=0, next_hop=1, hops=2, installed_at=0)
+        )
+        checker = InvariantChecker(world, raise_on_violation=False)
+        ttl = world.tables.ttl
+        assert checker.check_now(now=ttl) == []
+        assert any("outlived ttl" in p for p in checker.check_now(now=ttl + 1))
+
+    def test_route_entry_with_zero_hops(self, gateway_line4):
+        world = self._world(gateway_line4)
+        # install() itself rejects hops < 1, so plant the corruption
+        # behind its back — exactly what the checker exists to catch.
+        world.tables.table(2)._entries[0] = RouteEntry(
+            gateway=0, next_hop=1, hops=0, installed_at=0
+        )
+        checker = InvariantChecker(world, raise_on_violation=False)
+        assert any("0 hops" in p for p in checker.check_now(now=1))
+
+    def test_footprint_on_down_node(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.field.stamp(node=2, agent=0, target=3, time=0)
+        world.topology.set_node_down(2)
+        # Park the agents off the down node so only the board violates.
+        for agent in world.agents:
+            agent.location = 0
+        checker = InvariantChecker(world, raise_on_violation=False)
+        problems = checker.check_now(now=1)
+        assert any("down node 2" in p for p in problems)
+
+    def test_footprint_pointing_at_unknown_node(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.field.stamp(node=2, agent=0, target=77, time=0)
+        checker = InvariantChecker(world, raise_on_violation=False)
+        assert any("unknown node 77" in p for p in checker.check_now(now=1))
+
+    def test_agent_on_down_node(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.agents[0].location = 3
+        world.topology.set_node_down(3)
+        checker = InvariantChecker(world, raise_on_violation=False)
+        # No injector: every agent counts as acting.
+        world.injector = None
+        assert any("acts on down node 3" in p for p in checker.check_now(now=1))
+
+    def test_collect_mode_accumulates_across_checks(self, gateway_line4):
+        world = self._world(gateway_line4)
+        world.tables.table(2)._entries[0] = RouteEntry(
+            gateway=0, next_hop=1, hops=0, installed_at=0
+        )
+        checker = InvariantChecker(world, raise_on_violation=False)
+        checker.check_now(now=1)
+        checker.check_now(now=2)
+        assert checker.checks == 2
+        assert len(checker.violations) == 2
+
+    def test_install_is_idempotent(self, gateway_line4):
+        world = self._world(gateway_line4)
+        checker = InvariantChecker(world)
+        checker.install()
+        checker.install()
+        world.engine.run(1)
+        assert checker.checks == 1

@@ -6,13 +6,14 @@ from repro.errors import RoutingError
 from repro.routing.table import RouteEntry, RoutingTable, TableBank
 
 
-def entry(gateway=9, next_hop=1, hops=3, installed_at=10, seen_at=0):
+def entry(gateway=9, next_hop=1, hops=3, installed_at=10, seen_at=0, sequence=0):
     return RouteEntry(
         gateway=gateway,
         next_hop=next_hop,
         hops=hops,
         installed_at=installed_at,
         gateway_seen_at=seen_at,
+        sequence=sequence,
     )
 
 
@@ -94,6 +95,71 @@ class TestRoutingTable:
         table.install(entry())
         table.clear()
         assert len(table) == 0
+
+
+class TestSequenceFloors:
+    def test_accepting_an_entry_raises_the_floor(self):
+        table = RoutingTable()
+        assert table.sequence_floor(9) == 0
+        table.install(entry(sequence=7))
+        assert table.sequence_floor(9) == 7
+
+    def test_floors_are_per_gateway(self):
+        table = RoutingTable()
+        table.install(entry(gateway=8, sequence=7))
+        assert table.sequence_floor(8) == 7
+        assert table.sequence_floor(9) == 0
+
+    def test_below_floor_rejected_even_into_empty_slot(self):
+        # The late-carrier case staleness control exists for: the slot
+        # emptied (TTL expiry), then an agent carrying *older* gateway
+        # information arrives.  Without the floor it would reinstall.
+        table = RoutingTable(ttl=5)
+        table.install(entry(seen_at=10, sequence=10, installed_at=10))
+        assert table.expire(now=20) == 1
+        assert len(table) == 0
+        assert not table.install(entry(seen_at=4, sequence=4, installed_at=21))
+        assert len(table) == 0
+
+    def test_at_or_above_floor_accepted_after_expiry(self):
+        table = RoutingTable(ttl=5)
+        table.install(entry(seen_at=10, sequence=10, installed_at=10))
+        table.expire(now=20)
+        assert table.install(entry(seen_at=10, sequence=10, installed_at=21))
+        assert table.install(entry(seen_at=12, sequence=12, installed_at=22))
+
+    def test_clear_forgets_floors(self):
+        # A crashed node's reborn table has no memory of what it saw.
+        table = RoutingTable()
+        table.install(entry(sequence=10))
+        table.clear()
+        assert table.sequence_floor(9) == 0
+        assert table.install(entry(sequence=1))
+
+    def test_drop_routes_via_next_hop_keeps_gateway_entries(self):
+        table = RoutingTable()
+        table.install(entry(gateway=8, next_hop=3))
+        table.install(entry(gateway=9, next_hop=5))
+        table.install(entry(gateway=3, next_hop=4))
+        assert table.drop_routes_via_next_hop(3) == 1
+        # gateway=3 survives: a dead *link* toward 3 says nothing about
+        # reaching gateway 3 some other way.
+        assert table.entry_for(3) is not None
+        assert table.entry_for(8) is None
+        assert table.entry_for(9) is not None
+
+    def test_drop_routes_via_next_hop_keeps_floor(self):
+        table = RoutingTable()
+        table.install(entry(next_hop=3, sequence=10))
+        table.drop_routes_via_next_hop(3)
+        assert table.sequence_floor(9) == 10
+        assert not table.install(entry(next_hop=5, sequence=9))
+
+    def test_corrupt_preserves_sequence(self, rng):
+        table = RoutingTable()
+        table.install(entry(sequence=6))
+        table.corrupt(rng, node_ids=[0, 1, 2])
+        assert table.entry_for(9).sequence == 6
 
 
 class TestTableBank:

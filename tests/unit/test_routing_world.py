@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.net.manual import fixed_topology
 from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig, run_routing
 
 

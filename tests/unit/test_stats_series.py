@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.series import TimeSeries, average_series, converged_mean
-from repro.analysis.stats import RunSummary, confidence_interval, summarize
+from repro.analysis.stats import confidence_interval, summarize
 from repro.errors import ExperimentError
 
 
