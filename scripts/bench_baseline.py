@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Substrate micro-benchmark baseline writer.
+
+Runs the same hot-path workloads as ``benchmarks/bench_substrate_ops.py``
+— topology recomputation under mobility, the connectivity walk,
+knowledge merging, footprint filtering, the routing world step, and
+route-table churn — without needing ``pytest-benchmark``, and writes the
+timings plus a run manifest to a JSON baseline file.
+
+The checked-in ``BENCH_substrate.json`` is the reference point: re-run
+this script after a performance-sensitive change and compare
+``ops_per_s`` per workload.  Absolute numbers move between machines;
+the *ratios* between workloads and between before/after runs on the
+same machine are what matter.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_baseline.py                     # full
+    PYTHONPATH=src python scripts/bench_baseline.py --scale smoke       # CI
+    PYTHONPATH=src python scripts/bench_baseline.py --out BENCH_substrate.json
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+from time import perf_counter
+
+from repro.core.knowledge import TopologyKnowledge
+from repro.core.stigmergy import StigmergyField
+from repro.net.generator import GeneratorConfig, NetworkGenerator
+from repro.obs.manifest import build_manifest
+from repro.routing.connectivity import connectivity_fraction
+from repro.routing.table import RouteEntry, TableBank
+from repro.routing.world import RoutingWorld, RoutingWorldConfig
+
+#: bumped when the baseline-file layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: the same 250-node MANET the pytest benchmarks use.
+MANET_250 = GeneratorConfig(
+    node_count=250,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=12,
+    mobile_fraction=0.5,
+)
+
+#: a small MANET so the CI smoke run finishes in seconds.
+MANET_60 = GeneratorConfig(
+    node_count=60,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=4,
+    mobile_fraction=0.5,
+)
+
+#: (iterations per round, rounds) per scale.
+SCALES = {
+    "full": (200, 5),
+    "smoke": (20, 3),
+}
+
+
+def _time_workload(func, iterations, rounds):
+    """Best/mean/median per-call seconds over ``rounds`` timed rounds."""
+    per_call = []
+    for __ in range(rounds):
+        started = perf_counter()
+        for __ in range(iterations):
+            func()
+        per_call.append((perf_counter() - started) / iterations)
+    per_call.sort()
+    mean = sum(per_call) / len(per_call)
+    return {
+        "iterations": iterations,
+        "rounds": rounds,
+        "min_s": per_call[0],
+        "p50_s": per_call[len(per_call) // 2],
+        "mean_s": mean,
+        "ops_per_s": (1.0 / mean) if mean > 0 else 0.0,
+    }
+
+
+def _workloads(scale):
+    """Yield ``(name, callable)`` pairs; construction cost is excluded."""
+    manet = MANET_250 if scale == "full" else MANET_60
+    world_pop = 100 if scale == "full" else 30
+    merge_nodes = 300 if scale == "full" else 80
+
+    topology = NetworkGenerator(manet, 1).generate_manet()
+
+    def topology_advance():
+        topology.advance()
+        return topology.edge_count
+
+    warm = RoutingWorld(
+        NetworkGenerator(manet, 2).generate_manet(),
+        RoutingWorldConfig(population=world_pop, total_steps=40, converged_after=20),
+        seed=3,
+    )
+    warm.run()
+
+    def connectivity_metric():
+        return connectivity_fraction(warm.topology, warm.tables)
+
+    rng = random.Random(4)
+    source = TopologyKnowledge()
+    for node in range(merge_nodes):
+        source.observe_node(
+            node, [rng.randrange(merge_nodes) for __ in range(7)], node
+        )
+    edges = source.shareable_edges()
+    visits = source.shareable_visits()
+
+    def knowledge_merge():
+        sink = TopologyKnowledge()
+        sink.absorb(edges, visits)
+        return sink.known_edge_count
+
+    field = StigmergyField(capacity=16, freshness=10)
+    stamp_rng = random.Random(5)
+    for agent in range(40):
+        field.stamp(0, agent, stamp_rng.randrange(10), stamp_rng.randrange(10))
+    candidates = list(range(10))
+
+    def footprint_filter():
+        return field.filter_candidates(0, candidates, 10)
+
+    stepper = RoutingWorld(
+        NetworkGenerator(manet, 6).generate_manet(),
+        RoutingWorldConfig(
+            population=world_pop, total_steps=10_000_000, converged_after=0
+        ),
+        seed=7,
+    )
+
+    def world_step():
+        stepper.engine.step()
+        return stepper.result.connectivity[-1]
+
+    bank = TableBank(250, ttl=150)
+    churn_rng = random.Random(8)
+
+    def table_churn():
+        now = churn_rng.randrange(1000)
+        node = churn_rng.randrange(250)
+        bank.table(node).install(
+            RouteEntry(
+                gateway=churn_rng.randrange(12),
+                next_hop=churn_rng.randrange(250),
+                hops=churn_rng.randrange(1, 10),
+                installed_at=now,
+                gateway_seen_at=now,
+            )
+        )
+        return bank.table(node).expire(now)
+
+    return [
+        ("topology_advance", topology_advance),
+        ("connectivity_metric", connectivity_metric),
+        ("knowledge_merge", knowledge_merge),
+        ("footprint_filter", footprint_filter),
+        ("routing_world_step", world_step),
+        ("table_install_expire", table_churn),
+    ]
+
+
+def run_benchmarks(scale):
+    """Run every workload at ``scale``; return the JSON-safe baseline."""
+    iterations, rounds = SCALES[scale]
+    results = {}
+    for name, func in _workloads(scale):
+        print(f"  {name} ...", file=sys.stderr, flush=True)
+        results[name] = _time_workload(func, iterations, rounds)
+    return {
+        "schema": BENCH_SCHEMA,
+        "manifest": build_manifest(
+            master_seed=0,
+            scale=f"bench-{scale}",
+            experiments=sorted(results),
+            options={"iterations": iterations, "rounds": rounds},
+        ),
+        "results": results,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="full",
+        help="workload size: 'full' for baselines, 'smoke' for CI (default full)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_substrate.json",
+        help="where to write the baseline JSON (default BENCH_substrate.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmarks(args.scale)
+    path = pathlib.Path(args.out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    width = max(len(name) for name in payload["results"])
+    for name, stats in sorted(payload["results"].items()):
+        print(
+            f"{name:<{width}}  mean {stats['mean_s'] * 1e6:10.1f} us"
+            f"  p50 {stats['p50_s'] * 1e6:10.1f} us"
+            f"  {stats['ops_per_s']:12.0f} ops/s"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

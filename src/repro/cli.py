@@ -140,6 +140,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="how many times a failed or overdue task is retried (default 1)",
     )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help=(
+            "write merged run counters (overhead, faults, channel, meetings) "
+            "plus the run manifest as one JSON file"
+        ),
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write schema-versioned simulation events as JSONL (one per line)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="time engine phases and hooks per step; print percentile tables",
+    )
 
     report = commands.add_parser(
         "report", help="re-render archived JSON reports without re-running"
@@ -202,25 +220,73 @@ def _command_run(args: argparse.Namespace) -> int:
         runner.set_default_checkpoint_dir(args.checkpoint_dir)
     if args.task_timeout is not None or args.task_retries is not None:
         runner.set_task_limits(args.task_timeout, args.task_retries)
+
+    accumulator = None
+    obs_wanted = bool(args.metrics_out or args.trace_out or args.profile)
+    if obs_wanted:
+        from repro.obs import ObsAccumulator, ObsConfig
+
+        obs_config = ObsConfig(
+            metrics=bool(args.metrics_out),
+            events=bool(args.trace_out),
+            profile=bool(args.profile),
+        )
+        accumulator = ObsAccumulator()
+        runner.set_default_obs(obs_config, accumulator)
+
     progress = _progress_printer(args.quiet)
-    for experiment_id in ids:
-        experiment = get_experiment(experiment_id)
-        started = time.perf_counter()
-        report = experiment.run(scale, master_seed=args.seed, progress=progress)
-        elapsed = time.perf_counter() - started
-        print(report.render(plots=not args.no_plot))
-        print(f"(scale={scale.name}, seed={args.seed}, wall time {elapsed:.1f}s)")
-        if args.json_dir:
-            from repro.experiments.persistence import save_report
+    try:
+        for experiment_id in ids:
+            experiment = get_experiment(experiment_id)
+            if accumulator is not None:
+                accumulator.start_experiment(experiment_id)
+            started = time.perf_counter()
+            report = experiment.run(scale, master_seed=args.seed, progress=progress)
+            elapsed = time.perf_counter() - started
+            print(report.render(plots=not args.no_plot))
+            print(f"(scale={scale.name}, seed={args.seed}, wall time {elapsed:.1f}s)")
+            if args.json_dir:
+                from repro.experiments.persistence import save_report
 
-            print(f"wrote {save_report(report, args.json_dir)}")
-        if args.svg_dir:
-            from repro.experiments.persistence import save_svg
+                print(f"wrote {save_report(report, args.json_dir)}")
+            if args.svg_dir:
+                from repro.experiments.persistence import save_svg
 
-            svg_path = save_svg(report, args.svg_dir)
-            if svg_path is not None:
-                print(f"wrote {svg_path}")
-        print()
+                svg_path = save_svg(report, args.svg_dir)
+                if svg_path is not None:
+                    print(f"wrote {svg_path}")
+            if args.profile and accumulator is not None:
+                print(accumulator.profile_text(experiment_id))
+            print()
+    finally:
+        if obs_wanted:
+            runner.set_default_obs(None, None)
+
+    if accumulator is not None:
+        from repro.obs import build_manifest
+
+        manifest = build_manifest(
+            master_seed=args.seed,
+            scale=scale.name,
+            experiments=ids,
+            options={
+                "runs": scale.runs,
+                "workers": getattr(args, "workers", 1),
+                "faults": args.faults,
+                "loss": args.loss,
+                "hop_retries": args.hop_retries,
+                "route_ttl": args.route_ttl,
+                "check_invariants": args.check_invariants,
+            },
+        )
+        if args.metrics_out:
+            path = accumulator.write_metrics(
+                args.metrics_out, manifest, include_profile=args.profile
+            )
+            print(f"wrote {path}")
+        if args.trace_out:
+            path = accumulator.write_trace(args.trace_out, manifest)
+            print(f"wrote {path}")
     return 0
 
 

@@ -53,23 +53,27 @@ class OverheadMeter:
     #: route entries dropped as link-quality evidence after abandonment.
     routes_invalidated: int = 0
 
+    def absorb(self, other: "OverheadMeter") -> None:
+        """Add ``other``'s counters into this meter in place."""
+        self.decisions += other.decisions
+        self.candidates_examined += other.candidates_examined
+        self.footprints_stamped += other.footprints_stamped
+        self.footprint_lookups += other.footprint_lookups
+        self.meetings += other.meetings
+        self.items_received += other.items_received
+        self.routes_installed += other.routes_installed
+        self.hops_attempted += other.hops_attempted
+        self.hops_lost += other.hops_lost
+        self.hop_retries += other.hop_retries
+        self.hops_abandoned += other.hops_abandoned
+        self.payloads_lost += other.payloads_lost
+        self.routes_invalidated += other.routes_invalidated
+
     def merged_with(self, other: "OverheadMeter") -> "OverheadMeter":
-        """The element-wise sum of two meters."""
-        return OverheadMeter(
-            decisions=self.decisions + other.decisions,
-            candidates_examined=self.candidates_examined + other.candidates_examined,
-            footprints_stamped=self.footprints_stamped + other.footprints_stamped,
-            footprint_lookups=self.footprint_lookups + other.footprint_lookups,
-            meetings=self.meetings + other.meetings,
-            items_received=self.items_received + other.items_received,
-            routes_installed=self.routes_installed + other.routes_installed,
-            hops_attempted=self.hops_attempted + other.hops_attempted,
-            hops_lost=self.hops_lost + other.hops_lost,
-            hop_retries=self.hop_retries + other.hop_retries,
-            hops_abandoned=self.hops_abandoned + other.hops_abandoned,
-            payloads_lost=self.payloads_lost + other.payloads_lost,
-            routes_invalidated=self.routes_invalidated + other.routes_invalidated,
-        )
+        """The element-wise sum of two meters (neither input mutated)."""
+        total = OverheadMeter(**self.as_dict())
+        total.absorb(other)
+        return total
 
     def per_decision(self) -> Dict[str, float]:
         """Counters normalised by the number of decisions taken."""
@@ -99,8 +103,12 @@ class OverheadMeter:
 
 
 def aggregate_overheads(meters: Iterable[OverheadMeter]) -> OverheadMeter:
-    """Sum a collection of per-agent meters into one team meter."""
+    """Sum a collection of per-agent meters into one team meter.
+
+    Accumulates in place: called per agent in every run summary, so it
+    must not allocate a fresh meter per element.
+    """
     total = OverheadMeter()
     for meter in meters:
-        total = total.merged_with(meter)
+        total.absorb(meter)
     return total

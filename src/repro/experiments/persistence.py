@@ -25,6 +25,7 @@ from repro.errors import ExperimentError
 from repro.experiments.report import ExperimentReport
 from repro.faults.metrics import ResilienceReport
 from repro.mapping.world import MappingResult
+from repro.obs.collector import ObsReport
 from repro.routing.world import RoutingResult
 
 __all__ = [
@@ -139,6 +140,10 @@ def _resilience_from_dict(payload: Optional[dict]) -> Optional[ResilienceReport]
     return ResilienceReport(**payload) if payload is not None else None
 
 
+def _obs_to_dict(report: Optional[ObsReport]) -> Optional[dict]:
+    return report.to_dict() if report is not None else None
+
+
 def mapping_result_to_dict(result: MappingResult) -> dict:
     """The JSON-safe form of one mapping run's outcome."""
     return {
@@ -150,6 +155,7 @@ def mapping_result_to_dict(result: MappingResult) -> dict:
         "meetings": result.meetings,
         "overhead": dict(result.overhead),
         "resilience": _resilience_to_dict(result.resilience),
+        "obs": _obs_to_dict(result.obs),
     }
 
 
@@ -164,6 +170,7 @@ def mapping_result_from_dict(payload: dict) -> MappingResult:
         meetings=payload["meetings"],
         overhead={k: float(v) for k, v in payload["overhead"].items()},
         resilience=_resilience_from_dict(payload.get("resilience")),
+        obs=ObsReport.from_dict(payload.get("obs")),
     )
 
 
@@ -176,6 +183,7 @@ def routing_result_to_dict(result: RoutingResult) -> dict:
         "meetings": result.meetings,
         "overhead": dict(result.overhead),
         "resilience": _resilience_to_dict(result.resilience),
+        "obs": _obs_to_dict(result.obs),
     }
 
 
@@ -188,6 +196,7 @@ def routing_result_from_dict(payload: dict) -> RoutingResult:
         meetings=payload["meetings"],
         overhead={k: float(v) for k, v in payload["overhead"].items()},
         resilience=_resilience_from_dict(payload.get("resilience")),
+        obs=ObsReport.from_dict(payload.get("obs")),
     )
 
 

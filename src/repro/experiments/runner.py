@@ -61,6 +61,8 @@ from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig
 from repro.net.channel import ChannelConfig
 from repro.net.generator import GeneratorConfig, NetworkGenerator
 from repro.net.topology import Topology
+from repro.obs.collector import ObsConfig
+from repro.obs.output import ObsAccumulator
 from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
 from repro.rng import derive_seed
 
@@ -76,6 +78,7 @@ __all__ = [
     "set_default_route_ttl",
     "set_default_check_invariants",
     "set_default_checkpoint_dir",
+    "set_default_obs",
     "set_task_limits",
 ]
 
@@ -199,6 +202,12 @@ _default_checkpoint_dir: Optional[pathlib.Path] = None
 _default_task_timeout: Optional[float] = None
 _default_task_retries = 1
 
+#: observability config applied to variants that carry none, and the
+#: accumulator completed runs report into — set by the CLI's
+#: ``--metrics-out``/``--trace-out``/``--profile`` flags.
+_default_obs: Optional[ObsConfig] = None
+_obs_accumulator: Optional[ObsAccumulator] = None
+
 
 def set_default_workers(workers: int) -> None:
     """Set the pool size used by runs that do not pass ``workers``."""
@@ -246,6 +255,22 @@ def set_default_checkpoint_dir(directory: Union[str, pathlib.Path, None]) -> Non
     """Set the checkpoint directory used when a call passes none."""
     global _default_checkpoint_dir
     _default_checkpoint_dir = None if directory is None else pathlib.Path(directory)
+
+
+def set_default_obs(
+    config: Optional[ObsConfig], accumulator: Optional[ObsAccumulator] = None
+) -> None:
+    """Set the observability config injected into variants that carry none.
+
+    ``accumulator`` receives every completed run's
+    :class:`~repro.obs.collector.ObsReport` in canonical (variant, run)
+    order — identical between serial and pooled sweeps — so the CLI can
+    write one merged metrics/trace artifact per invocation.  Passing
+    ``(None, None)`` switches the subsystem back off.
+    """
+    global _default_obs, _obs_accumulator
+    _default_obs = config
+    _obs_accumulator = accumulator
 
 
 def set_task_limits(
@@ -307,6 +332,8 @@ def _with_run_defaults(variants: Dict[str, Any]) -> Dict[str, Any]:
             changes["check_invariants"] = _default_check_invariants
         if _default_route_ttl is not None and hasattr(config, "route_ttl"):
             changes["route_ttl"] = _default_route_ttl
+        if _default_obs is not None and config.obs is None:
+            changes["obs"] = _default_obs
         adjusted[name] = dataclasses.replace(config, **changes) if changes else config
     return adjusted
 
@@ -585,9 +612,11 @@ def run_mapping_variants(
     for name, pairs in collected.items():
         pairs.sort(key=lambda pair: pair[0])
         outcome = MappingVariantResult(name)
-        for __, result in pairs:
+        for run_index, result in pairs:
             outcome.finishing_times.append(result.finishing_time)
             outcome.results.append(result)
+            if _obs_accumulator is not None:
+                _obs_accumulator.add("mapping", name, run_index, result.obs)
         outcomes[name] = outcome
     return outcomes
 
@@ -649,6 +678,9 @@ def run_routing_variants(
     for name, pairs in collected.items():
         pairs.sort(key=lambda pair: pair[0])
         outcome = RoutingVariantResult(name)
-        outcome.results.extend(result for __, result in pairs)
+        for run_index, result in pairs:
+            outcome.results.append(result)
+            if _obs_accumulator is not None:
+                _obs_accumulator.add("routing", name, run_index, result.obs)
         outcomes[name] = outcome
     return outcomes

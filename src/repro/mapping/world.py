@@ -23,6 +23,7 @@ the live topology).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.comms import exchange_mapping_knowledge
@@ -38,6 +39,7 @@ from repro.mapping.metrics import KnowledgeTracker
 from repro.net.channel import ChannelConfig, ChannelModel
 from repro.net.radio import HeterogeneousRange
 from repro.net.topology import Topology
+from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
 from repro.rng import SeedSpawner
 from repro.sim.engine import StopSimulation, TimeStepEngine
 from repro.sim.invariants import InvariantChecker, default_invariants_enabled
@@ -72,6 +74,9 @@ class MappingWorldConfig:
     #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
     #: variable (tests switch it on); ``True``/``False`` force it.
     check_invariants: Optional[bool] = None
+    #: ``None`` (default) records nothing — the zero-overhead path;
+    #: an :class:`~repro.obs.collector.ObsConfig` switches layers on.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -98,6 +103,7 @@ class MappingResult:
     meetings: int = 0
     overhead: Dict[str, float] = field(default_factory=dict)
     resilience: Optional[ResilienceReport] = None
+    obs: Optional[ObsReport] = None
 
     @property
     def finished(self) -> bool:
@@ -145,6 +151,14 @@ class MappingWorld:
         if check or (check is None and default_invariants_enabled()):
             self.invariants = InvariantChecker(self)
             self.invariants.install()
+        # Observability is strictly opt-in: with obs unset no collector
+        # exists and the hot loop below takes only `is None` branches.
+        self._obs: Optional[ObsCollector] = None
+        self._profiler = None
+        if config.obs is not None and config.obs.enabled:
+            self._obs = ObsCollector(config.obs, self.engine, scenario="mapping")
+            self._profiler = self._obs.profiler
+            self._obs_last_losses = 0
         self.engine.add_process(self._step)
         if config.degrade_at is not None:
             self.engine.schedule_at(
@@ -208,6 +222,11 @@ class MappingWorld:
         return self.injector.active_agents()
 
     def _step(self, now: Time) -> None:
+        # Profiling laps partition the step into the paper's phases; with
+        # no profiler (the default) each guard is a single None check.
+        profiler = self._profiler
+        if profiler is not None:
+            step_started = phase_started = perf_counter()
         agents = self._active_agents()
         if not agents:
             raise StopSimulation("all-agents-dead")
@@ -220,11 +239,16 @@ class MappingWorld:
                 neighbors = sorted(topology.out_neighbors(agent.location))
                 neighbor_cache[agent.location] = neighbors
             agent.observe(neighbors, now)
+        if profiler is not None:
+            phase_started = profiler.lap("observe", phase_started)
         # Phase 2: meetings.
         if self.config.cooperation and len(agents) > 1:
-            self.meetings += exchange_mapping_knowledge(
-                agents, channel=self.channel, now=now
-            )
+            held = exchange_mapping_knowledge(agents, channel=self.channel, now=now)
+            self.meetings += held
+            if self._obs is not None:
+                self._obs.meetings(now, held)
+        if profiler is not None:
+            phase_started = profiler.lap("meet", phase_started)
         # Phases 3 & 4: choose (or retry a pending hop), footprint; moves
         # commit afterwards, each gated on the channel delivering it.
         moves: List[Tuple[MappingAgent, NodeId]] = []
@@ -243,6 +267,8 @@ class MappingWorld:
             else:
                 target = forced  # retry without re-planning or re-stamping
             moves.append((agent, target))
+        if profiler is not None:
+            phase_started = profiler.lap("decide", phase_started)
         for agent, target in moves:
             outcome = self._migration.attempt_hop(agent, target, now)
             if outcome != DELIVERED:
@@ -259,6 +285,12 @@ class MappingWorld:
             self.engine.hooks.fire(
                 "agent_moved", time=now, agent=agent.agent_id, to=target
             )
+        if profiler is not None:
+            phase_started = profiler.lap("move", phase_started)
+        if self._obs is not None:
+            losses = self.channel.stats.losses
+            self._obs.channel_losses(now, losses - self._obs_last_losses)
+            self._obs_last_losses = losses
         finished = self.tracker.record(now, agents, live_edges=self._live_edges)
         self.engine.hooks.fire(
             "knowledge_recorded",
@@ -266,6 +298,9 @@ class MappingWorld:
             average=self.tracker.average_knowledge[-1],
             minimum=self.tracker.minimum_knowledge[-1],
         )
+        if profiler is not None:
+            phase_started = profiler.lap("record", phase_started)
+            profiler.add("step", phase_started - step_started)
         if finished:
             raise StopSimulation("perfect-knowledge")
 
@@ -278,9 +313,19 @@ class MappingWorld:
         steps = self.engine.run(self.config.max_steps)
         team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
         resilience = None
+        agents_total = agents_alive = len(self.agents)
         if self.resilience is not None and self.injector is not None:
-            total, alive = self.injector.resilience_counts()
-            resilience = self.resilience.report(total, alive)
+            agents_total, agents_alive = self.injector.resilience_counts()
+            resilience = self.resilience.report(agents_total, agents_alive)
+        obs_report = None
+        if self._obs is not None:
+            obs_report = self._obs.finalize(
+                overhead=team_overhead,
+                channel_stats=self.channel.stats,
+                agents_total=agents_total,
+                agents_alive=agents_alive,
+                steps=steps,
+            )
         return MappingResult(
             finishing_time=self.tracker.finishing_time,
             steps_simulated=steps,
@@ -290,6 +335,7 @@ class MappingWorld:
             meetings=self.meetings,
             overhead=team_overhead.per_decision(),
             resilience=resilience,
+            obs=obs_report,
         )
 
 

@@ -19,6 +19,7 @@ paper's simultaneous time-step semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.ant_agents import AntRoutingAgent
@@ -33,6 +34,7 @@ from repro.faults.metrics import ResilienceReport, ResilienceTracker
 from repro.faults.plan import FaultPlan
 from repro.net.channel import ChannelConfig, ChannelModel
 from repro.net.topology import Topology
+from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
 from repro.routing.connectivity import DEFAULT_WALK_TTL, connectivity_fraction
 from repro.core.pheromone import PheromoneField
 from repro.routing.table import RouteEntry, TableBank
@@ -71,6 +73,10 @@ class RoutingWorldConfig:
     #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
     #: variable (tests switch it on); ``True``/``False`` force it.
     check_invariants: Optional[bool] = None
+    # --- observability ---------------------------------------------------
+    #: ``None`` (default) records nothing — the zero-overhead path;
+    #: an :class:`~repro.obs.collector.ObsConfig` switches layers on.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -98,6 +104,7 @@ class RoutingResult:
     meetings: int = 0
     overhead: Dict[str, float] = field(default_factory=dict)
     resilience: Optional[ResilienceReport] = None
+    obs: Optional[ObsReport] = None
 
     @property
     def mean_connectivity(self) -> float:
@@ -176,6 +183,14 @@ class RoutingWorld:
         if check or (check is None and default_invariants_enabled()):
             self.invariants = InvariantChecker(self)
             self.invariants.install()
+        # Observability is strictly opt-in: with obs unset no collector
+        # exists and the hot loop below takes only `is None` branches.
+        self._obs: Optional[ObsCollector] = None
+        self._profiler = None
+        if config.obs is not None and config.obs.enabled:
+            self._obs = ObsCollector(config.obs, self.engine, scenario="routing")
+            self._profiler = self._obs.profiler
+            self._obs_last_losses = 0
         self.engine.add_process(self._step)
 
     # ------------------------------------------------------------------
@@ -223,6 +238,11 @@ class RoutingWorld:
         return self.injector.active_agents()
 
     def _step(self, now: Time) -> None:
+        # Profiling laps partition the step into the paper's phases; with
+        # no profiler (the default) each guard is a single None check.
+        profiler = self._profiler
+        if profiler is not None:
+            step_started = phase_started = perf_counter()
         topology = self.topology
         config = self.config
         # Substrate: motion, battery, links, route expiry, evaporation.
@@ -230,6 +250,8 @@ class RoutingWorld:
         self.tables.expire_all(now)
         if self.pheromone is not None:
             self.pheromone.evaporate()
+        if profiler is not None:
+            phase_started = profiler.lap("decay", phase_started)
         agents = self._active_agents()
         # Phase 1: every agent decides from the *new* neighbourhood — or,
         # mid-migration, retries/waits per the reliable-hop protocol.
@@ -248,11 +270,16 @@ class RoutingWorld:
                 # backoff yields no target.  Neither re-stamps footprints.
                 decisions.append(forced)
                 footprint_due.append(False)
+        if profiler is not None:
+            phase_started = profiler.lap("decide", phase_started)
         # Phase 2: visiting agents exchange knowledge where co-located.
         if config.visiting:
-            self.result.meetings += exchange_routing_knowledge(
-                agents, channel=self.channel, now=now
-            )
+            held = exchange_routing_knowledge(agents, channel=self.channel, now=now)
+            self.result.meetings += held
+            if self._obs is not None:
+                self._obs.meetings(now, held)
+        if profiler is not None:
+            phase_started = profiler.lap("meet", phase_started)
         # Phases 3 & 4: move (if the channel delivers) and install routes.
         moves: List[Tuple[RoutingAgent, NodeId]] = []
         for agent, target, fresh in zip(agents, decisions, footprint_due):
@@ -262,6 +289,7 @@ class RoutingWorld:
                 if fresh:
                     agent.leave_footprint(target, now, self.field)
                 moves.append((agent, target))
+        step_installs = 0
         for agent, target in moves:
             outcome = self._migration.attempt_hop(agent, target, now)
             if outcome != DELIVERED:
@@ -270,9 +298,16 @@ class RoutingWorld:
                     self._suspect_link(agent, target, now)
                 continue
             came_from = agent.move_to(target, now, self._is_live_gateway(target))
+            if self._obs is not None:
+                # The routing hot loop has no other agent_moved consumer,
+                # so the fire stays behind the obs guard (zero-cost off).
+                self.engine.hooks.fire(
+                    "agent_moved", time=now, agent=agent.agent_id, to=target
+                )
             table = self.tables.table(agent.location)
             for gateway, next_hop, hops, seen_at in agent.installable_routes(came_from):
                 agent.overhead.routes_installed += 1
+                step_installs += 1
                 table.install(
                     RouteEntry(
                         gateway=gateway,
@@ -283,11 +318,21 @@ class RoutingWorld:
                         sequence=seen_at,
                     )
                 )
+        if profiler is not None:
+            phase_started = profiler.lap("move", phase_started)
+        if self._obs is not None:
+            self._obs.routes_installed(now, step_installs)
+            losses = self.channel.stats.losses
+            self._obs.channel_losses(now, losses - self._obs_last_losses)
+            self._obs_last_losses = losses
         # Metric.
         fraction = connectivity_fraction(topology, self.tables, config.walk_ttl)
         self.result.times.append(now)
         self.result.connectivity.append(fraction)
         self.engine.hooks.fire("connectivity_recorded", time=now, fraction=fraction)
+        if profiler is not None:
+            phase_started = profiler.lap("record", phase_started)
+            profiler.add("step", phase_started - step_started)
 
     def _suspect_link(self, agent: RoutingAgent, target: NodeId, now: Time) -> None:
         """Turn an abandoned hop into link-quality evidence.
@@ -313,12 +358,21 @@ class RoutingWorld:
 
     def run(self) -> RoutingResult:
         """Run the configured number of steps; return the result."""
-        self.engine.run(self.config.total_steps)
+        steps = self.engine.run(self.config.total_steps)
         team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
         self.result.overhead = team_overhead.per_decision()
+        agents_total = agents_alive = len(self.agents)
         if self.resilience is not None and self.injector is not None:
-            total, alive = self.injector.resilience_counts()
-            self.result.resilience = self.resilience.report(total, alive)
+            agents_total, agents_alive = self.injector.resilience_counts()
+            self.result.resilience = self.resilience.report(agents_total, agents_alive)
+        if self._obs is not None:
+            self.result.obs = self._obs.finalize(
+                overhead=team_overhead,
+                channel_stats=self.channel.stats,
+                agents_total=agents_total,
+                agents_alive=agents_alive,
+                steps=steps,
+            )
         return self.result
 
 

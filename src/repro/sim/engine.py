@@ -10,7 +10,8 @@ the moment every agent holds a perfect map.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from time import perf_counter
+from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
@@ -44,6 +45,11 @@ class TimeStepEngine:
     * ``step_start`` — after the clock advanced, before events/processes,
     * ``step_end`` — after every process ran for this step,
     * ``run_end`` — once, when :meth:`run` returns (``reason=`` keyword).
+
+    When a :class:`~repro.obs.profiler.PhaseProfiler` is attached via
+    ``engine.profiler``, the due-event drain is timed under ``events``
+    (worlds lap their own internal phases; the hook registry times hook
+    fires).  With no profiler the loop is unchanged.
     """
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
@@ -53,6 +59,8 @@ class TimeStepEngine:
         self._processes: List[Process] = []
         self._running = False
         self.stop_reason: Optional[str] = None
+        #: optional phase profiler (set by an observability collector).
+        self.profiler: Optional[Any] = None
 
     def add_process(self, process: Process) -> None:
         """Register a per-step process; runs each step in registration order."""
@@ -78,8 +86,15 @@ class TimeStepEngine:
         """
         now = self.clock.advance()
         self.hooks.fire("step_start", time=now)
-        for event in self.events.pop_due(now):
-            event.fire()
+        profiler = self.profiler
+        if profiler is None:
+            for event in self.events.pop_due(now):
+                event.fire()
+        else:
+            started = perf_counter()
+            for event in self.events.pop_due(now):
+                event.fire()
+            profiler.add("events", perf_counter() - started)
         try:
             for process in self._processes:
                 process(now)

@@ -1,61 +1,60 @@
-"""Structured trace recording.
+"""Structured trace recording (thin adapter over :mod:`repro.obs.events`).
 
-A :class:`TraceRecorder` subscribes to a world's hooks and accumulates
-:class:`TraceEvent` rows.  Tests use it to assert fine-grained behaviour
-(who moved where, when knowledge completed) without reaching into private
-state; examples use it to narrate runs.
+.. deprecated::
+    :class:`TraceRecorder` predates the unified observability subsystem
+    and is kept as a compatibility adapter: it is now a kind-filtered
+    :class:`~repro.obs.events.EventBus` feeding one bounded
+    :class:`~repro.obs.events.MemorySink`, and :class:`TraceEvent` *is*
+    :class:`repro.obs.events.Event`.  New code should use the event bus
+    and sinks directly (or the CLI's ``--trace-out``); this module's
+    public API is frozen and will not grow.
+
+A :class:`TraceRecorder` accumulates event rows.  Tests use it to assert
+fine-grained behaviour (who moved where, when knowledge completed)
+without reaching into private state; examples use it to narrate runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional
 
+from repro.obs.events import Event, EventBus, MemorySink
 from repro.types import Time
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded trace row."""
-
-    time: Time
-    kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
+#: One recorded trace row — the obs layer's structured event.
+TraceEvent = Event
 
 
 class TraceRecorder:
     """Accumulates trace events, optionally filtered by kind."""
 
     def __init__(self, kinds: Optional[set] = None, max_events: Optional[int] = None) -> None:
-        self._kinds = set(kinds) if kinds is not None else None
-        self._max_events = max_events
-        self._events: List[TraceEvent] = []
-        self.dropped = 0
+        self._sink = MemorySink(max_events=max_events)
+        self._bus = EventBus([self._sink], kinds=kinds)
 
     def record(self, time: Time, kind: str, **payload: Any) -> None:
         """Append an event if its kind passes the filter and space remains."""
-        if self._kinds is not None and kind not in self._kinds:
-            return
-        if self._max_events is not None and len(self._events) >= self._max_events:
-            self.dropped += 1
-            return
-        self._events.append(TraceEvent(time=time, kind=kind, payload=dict(payload)))
+        self._bus.emit(time, kind, **payload)
 
     @property
     def events(self) -> List[TraceEvent]:
         """All recorded events in order."""
-        return list(self._events)
+        return self._sink.events
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded after ``max_events`` was reached."""
+        return self._sink.dropped
 
     def of_kind(self, kind: str) -> Iterator[TraceEvent]:
         """Iterate events of one kind, preserving order."""
-        return (event for event in self._events if event.kind == kind)
+        return (event for event in self._sink.events if event.kind == kind)
 
     def clear(self) -> None:
         """Drop every recorded event."""
-        self._events.clear()
-        self.dropped = 0
+        self._sink.clear()
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._sink)

@@ -1,0 +1,160 @@
+"""Unit: the metrics registry and its associative snapshot merge."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, merge_snapshots
+
+
+def _registry_a():
+    registry = MetricsRegistry()
+    registry.inc("hops", 3)
+    registry.inc("meetings")
+    registry.gauge_set("alive", 5)
+    registry.histogram("frac", [0.5, 1.0])
+    registry.observe("frac", 0.2)
+    registry.observe("frac", 0.7)
+    registry.ring("series", capacity=8)
+    registry.ring_record("series", 1, 0.1)
+    registry.ring_record("series", 3, 0.3)
+    return registry
+
+
+def _registry_b():
+    registry = MetricsRegistry()
+    registry.inc("hops", 4)
+    registry.inc("losses", 2)
+    registry.gauge_set("alive", 7)
+    registry.histogram("frac", [0.5, 1.0])
+    registry.observe("frac", 0.9)
+    registry.ring("series", capacity=8)
+    registry.ring_record("series", 2, 0.2)
+    return registry
+
+
+def _registry_c():
+    registry = MetricsRegistry()
+    registry.inc("hops", 1)
+    registry.gauge_set("alive", 6)
+    registry.ring_record("series", 4, 0.4)
+    return registry
+
+
+class TestInstruments:
+    def test_counters_accumulate_and_default_to_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") == 0
+        registry.inc("x")
+        registry.inc("x", 5)
+        assert registry.counter("x") == 6
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("level") is None
+        registry.gauge_set("level", 2)
+        registry.gauge_set("level", 1)
+        assert registry.gauge("level") == 1.0
+
+    def test_histogram_buckets_and_overflow(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", [1.0, 2.0])
+        for value in (0.5, 1.5, 99.0):
+            registry.observe("h", value)
+        snapshot = registry.snapshot()["histograms"]["h"]
+        assert snapshot["counts"] == [1, 1, 1]
+        assert snapshot["count"] == 3
+        assert snapshot["total"] == pytest.approx(101.0)
+
+    def test_histogram_must_be_declared(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().observe("nope", 1.0)
+
+    def test_histogram_redeclare_same_bounds_ok_different_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", [1.0])
+        registry.histogram("h", [1.0])  # idempotent
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", [2.0])
+
+    def test_histogram_bounds_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", [2.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            registry.histogram("empty", [])
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        registry = MetricsRegistry()
+        registry.ring("r", capacity=2)
+        for step in range(4):
+            registry.ring_record("r", step, float(step))
+        snapshot = registry.snapshot()["rings"]["r"]
+        assert snapshot["times"] == [2, 3]
+        assert snapshot["dropped"] == 2
+
+    def test_ring_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().ring("r", capacity=0)
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_json_round_trippable(self):
+        snapshot = _registry_a().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["schema"] == METRICS_SCHEMA
+
+    def test_merge_semantics(self):
+        merged = merge_snapshots([_registry_a().snapshot(), _registry_b().snapshot()])
+        assert merged["counters"] == {"hops": 7, "meetings": 1, "losses": 2}
+        assert merged["gauges"] == {"alive": 7.0}
+        assert merged["histograms"]["frac"]["counts"] == [1, 2, 0]
+        assert merged["histograms"]["frac"]["count"] == 3
+        ring = merged["rings"]["series"]
+        assert ring["times"] == [1, 2, 3]
+        assert ring["values"] == [0.1, 0.2, 0.3]
+
+    def test_merge_is_associative_and_commutative(self):
+        a, b, c = (r.snapshot() for r in (_registry_a(), _registry_b(), _registry_c()))
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left == right
+        assert merge_snapshots([c, a, b]) == left
+        assert merge_snapshots([b, c, a]) == left
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = _registry_a().snapshot()
+        b = _registry_b().snapshot()
+        a_copy = json.loads(json.dumps(a))
+        b_copy = json.loads(json.dumps(b))
+        merge_snapshots([a, b])
+        assert a == a_copy and b == b_copy
+
+    def test_single_and_empty_merges(self):
+        a = _registry_a().snapshot()
+        assert merge_snapshots([a]) == a
+        empty = merge_snapshots([])
+        assert empty["counters"] == {} and empty["rings"] == {}
+
+    def test_mismatched_histogram_bounds_raise(self):
+        one = MetricsRegistry()
+        one.histogram("h", [1.0])
+        other = MetricsRegistry()
+        other.histogram("h", [2.0])
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([one.snapshot(), other.snapshot()])
+
+    def test_wrong_schema_raises(self):
+        bad = _registry_a().snapshot()
+        bad["schema"] = 999
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([bad, _registry_b().snapshot()])
+
+    def test_pool_shaped_merge_equals_serial_merge(self):
+        """Merging per-worker partial merges equals merging every run flat."""
+        runs = [_registry_a(), _registry_b(), _registry_c(), _registry_a()]
+        flat = merge_snapshots([r.snapshot() for r in runs])
+        worker_one = merge_snapshots([runs[0].snapshot(), runs[2].snapshot()])
+        worker_two = merge_snapshots([runs[1].snapshot(), runs[3].snapshot()])
+        assert merge_snapshots([worker_one, worker_two]) == flat
