@@ -36,7 +36,8 @@ from repro.routing.table import RouteEntry, TableBank
 from repro.routing.world import RoutingWorld, RoutingWorldConfig
 
 #: bumped when the baseline-file layout changes incompatibly.
-BENCH_SCHEMA = 1
+#: 2: added the naive twin workloads and the ``speedups`` section.
+BENCH_SCHEMA = 2
 
 #: the same 250-node MANET the pytest benchmarks use.
 MANET_250 = GeneratorConfig(
@@ -97,6 +98,15 @@ def _workloads(scale):
         topology.advance()
         return topology.edge_count
 
+    # The same network driven through the naive rebuild-from-scratch
+    # path — the denominator of the incremental engine's speedup.
+    naive_topology = NetworkGenerator(manet, 1).generate_manet()
+    naive_topology.set_incremental(False)
+
+    def topology_advance_naive():
+        naive_topology.advance()
+        return naive_topology.edge_count
+
     warm = RoutingWorld(
         NetworkGenerator(manet, 2).generate_manet(),
         RoutingWorldConfig(population=world_pop, total_steps=40, converged_after=20),
@@ -142,6 +152,24 @@ def _workloads(scale):
         stepper.engine.step()
         return stepper.result.connectivity[-1]
 
+    # The reference configuration: rebuild-from-scratch topology and a
+    # full re-walk of the connectivity metric every step.
+    naive_stepper = RoutingWorld(
+        NetworkGenerator(manet, 6).generate_manet(),
+        RoutingWorldConfig(
+            population=world_pop,
+            total_steps=10_000_000,
+            converged_after=0,
+            connectivity_cache=False,
+        ),
+        seed=7,
+    )
+    naive_stepper.topology.set_incremental(False)
+
+    def world_step_naive():
+        naive_stepper.engine.step()
+        return naive_stepper.result.connectivity[-1]
+
     bank = TableBank(250, ttl=150)
     churn_rng = random.Random(8)
 
@@ -161,12 +189,32 @@ def _workloads(scale):
 
     return [
         ("topology_advance", topology_advance),
+        ("topology_advance_naive", topology_advance_naive),
         ("connectivity_metric", connectivity_metric),
         ("knowledge_merge", knowledge_merge),
         ("footprint_filter", footprint_filter),
         ("routing_world_step", world_step),
+        ("routing_world_step_naive", world_step_naive),
         ("table_install_expire", table_churn),
     ]
+
+
+#: incremental workload -> its rebuild-from-scratch twin.  The recorded
+#: ``speedups`` ratios are machine-independent (both sides run on the
+#: same box in the same process), which is what the CI perf gate checks.
+SPEEDUP_PAIRS = {
+    "topology_advance": "topology_advance_naive",
+    "routing_world_step": "routing_world_step_naive",
+}
+
+
+def _speedups(results):
+    speedups = {}
+    for fast, slow in SPEEDUP_PAIRS.items():
+        if fast in results and slow in results:
+            mean = results[fast]["mean_s"]
+            speedups[fast] = results[slow]["mean_s"] / mean if mean > 0 else 0.0
+    return speedups
 
 
 def run_benchmarks(scale):
@@ -185,6 +233,7 @@ def run_benchmarks(scale):
             options={"iterations": iterations, "rounds": rounds},
         ),
         "results": results,
+        "speedups": _speedups(results),
     }
 
 
@@ -213,6 +262,8 @@ def main(argv=None):
             f"  p50 {stats['p50_s'] * 1e6:10.1f} us"
             f"  {stats['ops_per_s']:12.0f} ops/s"
         )
+    for name, ratio in sorted(payload["speedups"].items()):
+        print(f"{name:<{width}}  {ratio:5.2f}x vs naive")
     print(f"wrote {path}")
     return 0
 

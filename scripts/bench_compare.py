@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Performance-regression gate over substrate benchmark baselines.
+
+Compares a freshly measured baseline (``scripts/bench_baseline.py``
+output) against the checked-in reference ``BENCH_substrate.json`` and
+fails (exit 1) when the hot paths regressed.
+
+Two kinds of check, strongest first:
+
+* **speedup floors** — the baseline file records machine-independent
+  ratios between each incremental hot path and its rebuild-from-scratch
+  twin measured in the same process (``speedups``).  These must clear a
+  floor: the incremental topology engine and the delta-aware
+  connectivity cache must actually be faster than the naive reference,
+  on whatever machine CI happens to give us.
+* **cross-file tolerance band** — per-workload mean times are compared
+  against the reference after normalizing by a machine-speed proxy
+  (``knowledge_merge``, a pure-Python workload untouched by engine
+  switches).  Different machines, CPU governors and cache sizes move
+  absolute numbers a lot, so the band is generous by default (+80%);
+  it exists to catch order-of-magnitude accidents, not 10% noise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_compare.py candidate.json
+    PYTHONPATH=src python scripts/bench_compare.py candidate.json \
+        --reference BENCH_substrate.json --tolerance 0.8 \
+        --min-speedup routing_world_step=1.3
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: baseline-file schema this gate understands.
+BENCH_SCHEMA = 2
+
+#: workload used to normalize cross-machine speed differences: pure
+#: Python, allocation-heavy, and untouched by the incremental engine.
+PROXY_WORKLOAD = "knowledge_merge"
+
+#: floors for the recorded incremental-vs-naive ratios.  Deliberately
+#: below the measured full-scale values (~2.1x world step, ~4x topology
+#: advance) so CI noise does not flake the gate, but high enough that a
+#: broken or accidentally disabled incremental path fails loudly.
+DEFAULT_MIN_SPEEDUPS = {
+    "routing_world_step": 1.25,
+    "topology_advance": 1.8,
+}
+
+
+def load(path):
+    payload = json.loads(pathlib.Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise SystemExit(
+            f"{path}: unsupported baseline schema {schema!r}, expected {BENCH_SCHEMA}"
+        )
+    return payload
+
+
+def check_speedups(candidate, floors, failures):
+    recorded = candidate.get("speedups", {})
+    for name, floor in sorted(floors.items()):
+        ratio = recorded.get(name)
+        if ratio is None:
+            failures.append(f"speedup for {name!r} missing from candidate")
+        elif ratio < floor:
+            failures.append(
+                f"{name}: incremental speedup {ratio:.2f}x below floor {floor:.2f}x"
+            )
+        else:
+            print(f"  ok  {name:<24} speedup {ratio:5.2f}x (floor {floor:.2f}x)")
+
+
+def check_tolerance(candidate, reference, tolerance, failures):
+    cand = candidate["results"]
+    ref = reference["results"]
+    if PROXY_WORKLOAD not in cand or PROXY_WORKLOAD not in ref:
+        failures.append(f"machine-speed proxy {PROXY_WORKLOAD!r} missing")
+        return
+    # >1 means this machine is slower than the reference machine.
+    machine = cand[PROXY_WORKLOAD]["mean_s"] / ref[PROXY_WORKLOAD]["mean_s"]
+    print(f"  machine-speed factor vs reference: {machine:.2f}x")
+    for name in sorted(set(cand) & set(ref)):
+        if name == PROXY_WORKLOAD:
+            continue
+        normalized = cand[name]["mean_s"] / machine
+        allowed = ref[name]["mean_s"] * (1.0 + tolerance)
+        if normalized > allowed:
+            failures.append(
+                f"{name}: normalized mean {normalized * 1e6:.1f} us exceeds "
+                f"reference {ref[name]['mean_s'] * 1e6:.1f} us "
+                f"+{tolerance * 100:.0f}% band"
+            )
+        else:
+            print(
+                f"  ok  {name:<24} normalized {normalized * 1e6:9.1f} us"
+                f"  (band {allowed * 1e6:9.1f} us)"
+            )
+
+
+def parse_min_speedup(spec):
+    try:
+        name, _, value = spec.partition("=")
+        return name, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=RATIO, got {spec!r}"
+        ) from None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="freshly measured baseline JSON")
+    parser.add_argument(
+        "--reference",
+        default="BENCH_substrate.json",
+        help="checked-in reference baseline (default BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.8,
+        help="cross-file slack as a fraction of the reference mean "
+        "(default 0.8 = +80%%, generous on purpose)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        type=parse_min_speedup,
+        metavar="NAME=RATIO",
+        default=None,
+        help="override a speedup floor (repeatable); "
+        f"defaults: {DEFAULT_MIN_SPEEDUPS}",
+    )
+    parser.add_argument(
+        "--skip-tolerance",
+        action="store_true",
+        help="check only the machine-independent speedup floors",
+    )
+    args = parser.parse_args(argv)
+
+    candidate = load(args.candidate)
+    floors = dict(DEFAULT_MIN_SPEEDUPS)
+    if args.min_speedup:
+        floors.update(args.min_speedup)
+
+    failures = []
+    print("speedup floors:")
+    check_speedups(candidate, floors, failures)
+    if not args.skip_tolerance:
+        reference = load(args.reference)
+        print("cross-file tolerance band:")
+        check_tolerance(candidate, reference, args.tolerance, failures)
+
+    if failures:
+        print("PERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,10 +35,22 @@ class VisitHistory:
 
     def record(self, node: NodeId, time: Time) -> None:
         """Record a visit, evicting the stalest entry if over capacity."""
-        self._visits[node] = time
-        if len(self._visits) > self.capacity:
-            stalest = min(self._visits, key=lambda n: (self._visits[n], n))
-            del self._visits[stalest]
+        visits = self._visits
+        visits[node] = time
+        if len(visits) > self.capacity:
+            # Inlined min-by-(time, id): this runs once per agent step,
+            # and a key-function min costs a tuple build per entry.
+            stalest = None
+            stale_time = None
+            for n, t in visits.items():
+                if (
+                    stale_time is None
+                    or t < stale_time
+                    or (t == stale_time and n < stalest)
+                ):
+                    stalest = n
+                    stale_time = t
+            del visits[stalest]
 
     def last_visit(self, node: NodeId) -> Time:
         """Last remembered visit to ``node``; ``NEVER`` when forgotten/unvisited."""

@@ -38,7 +38,7 @@ from repro.core.migration import MigrationState
 from repro.core.overhead import OverheadMeter
 from repro.core.stigmergy import StigmergyField
 from repro.errors import ConfigurationError
-from repro.types import AgentId, NodeId, Time
+from repro.types import NEVER, AgentId, NodeId, Time
 
 __all__ = [
     "GatewayTrack",
@@ -221,8 +221,16 @@ class OldestNodeAgent(RoutingAgent):
     kind = "oldest-node"
 
     def _pick(self, candidates: List[NodeId]) -> NodeId:
-        best_time = min(self.history.last_visit(c) for c in candidates)
-        best = [c for c in candidates if self.history.last_visit(c) == best_time]
+        visits = self.history._visits  # hot path: skip the method call
+        best_time = None
+        best: List[NodeId] = []
+        for candidate in candidates:
+            visited = visits.get(candidate, NEVER)
+            if best_time is None or visited < best_time:
+                best_time = visited
+                best = [candidate]
+            elif visited == best_time:
+                best.append(candidate)
         if len(best) == 1:
             return best[0]
         return self._rng.choice(best)

@@ -159,6 +159,12 @@ class MappingWorld:
             self._obs = ObsCollector(config.obs, self.engine, scenario="mapping")
             self._profiler = self._obs.profiler
             self._obs_last_losses = 0
+            stats = topology.stats
+            self._obs_last_topo = (
+                stats.edges_added,
+                stats.edges_removed,
+                stats.rebucketed,
+            )
         self.engine.add_process(self._step)
         if config.degrade_at is not None:
             self.engine.schedule_at(
@@ -291,6 +297,19 @@ class MappingWorld:
             losses = self.channel.stats.losses
             self._obs.channel_losses(now, losses - self._obs_last_losses)
             self._obs_last_losses = losses
+            stats = topology.stats
+            last = self._obs_last_topo
+            self._obs.topology_churn(
+                now,
+                added=stats.edges_added - last[0],
+                removed=stats.edges_removed - last[1],
+                rebucketed=stats.rebucketed - last[2],
+            )
+            self._obs_last_topo = (
+                stats.edges_added,
+                stats.edges_removed,
+                stats.rebucketed,
+            )
         finished = self.tracker.record(now, agents, live_edges=self._live_edges)
         self.engine.hooks.fire(
             "knowledge_recorded",

@@ -86,11 +86,15 @@ def fixed_topology(
         )
 
     topology = Topology(nodes, arena)
+    topology._pinned = True
 
     def recompute() -> None:
         # Restore the pinned adjacency, then apply fault state the same
         # way Topology.recompute does: crashed nodes lose every link,
-        # blacked-out links are removed last.
+        # blacked-out links are removed last.  Installing through
+        # _install_adjacency keeps the reverse index and the edge-delta
+        # stream truthful (an unchanged pinned graph yields an empty
+        # delta, so downstream caches stay warm).
         down = topology._down
         adjacency = {
             n: set() if n in down else {d for d in s if d not in down}
@@ -100,8 +104,7 @@ def fixed_topology(
             successors = adjacency.get(source)
             if successors is not None:
                 successors.discard(destination)
-        topology._adjacency = adjacency
-        topology._dirty = False
+        topology._install_adjacency(adjacency)
 
     topology.recompute = recompute  # type: ignore[method-assign]
     topology.recompute()

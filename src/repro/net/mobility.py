@@ -60,22 +60,38 @@ class RandomVelocity:
         """Current velocity vector as a :class:`Point` (dx, dy per step)."""
         return Point(self._vx, self._vy)
 
+    #: bound on reflections per axis per step — a node can cross the
+    #: arena at most speed/dimension times, so this is never reached for
+    #: any sane speed; it guards termination for adversarial configs.
+    _MAX_REFLECTIONS = 10_000
+
     def move(self, position: Point, arena: Arena) -> Point:
         x = position.x + self._vx
         y = position.y + self._vy
-        if x < 0.0:
-            x = -x
-            self._vx = -self._vx
-        elif x > arena.width:
-            x = 2.0 * arena.width - x
-            self._vx = -self._vx
-        if y < 0.0:
-            y = -y
-            self._vy = -self._vy
-        elif y > arena.height:
-            y = 2.0 * arena.height - y
-            self._vy = -self._vy
-        return arena.clamp(Point(x, y))
+        # Reflect until back in bounds: a speed larger than an arena
+        # dimension can overshoot past the far wall, so one bounce per
+        # axis is not enough (it used to pin such nodes to a wall).
+        for __ in range(self._MAX_REFLECTIONS):
+            if x < 0.0:
+                x = -x
+                self._vx = -self._vx
+            elif x > arena.width:
+                x = 2.0 * arena.width - x
+                self._vx = -self._vx
+            else:
+                break
+        for __ in range(self._MAX_REFLECTIONS):
+            if y < 0.0:
+                y = -y
+                self._vy = -self._vy
+            elif y > arena.height:
+                y = 2.0 * arena.height - y
+                self._vy = -self._vy
+            else:
+                break
+        # The reflection loops leave (x, y) inside the arena already, so
+        # clamping would be an identity — skip the extra Point.
+        return Point(x, y)
 
 
 class RandomWaypoint:

@@ -39,6 +39,12 @@ class Node:
         self.battery = battery if battery is not None else Battery(NoDrain())
         self.mobility = mobility if mobility is not None else Stationary()
         self.is_gateway = is_gateway
+        # Drain models are fixed at construction (faults mutate battery
+        # *level*, never the model), so a drainless battery can skip the
+        # per-step no-op drain dispatch in :meth:`advance`.
+        self._battery_drains = not isinstance(
+            self.battery._drain_model, NoDrain
+        )
 
     @property
     def is_mobile(self) -> bool:
@@ -56,7 +62,8 @@ class Node:
 
     def advance(self, arena: Arena) -> None:
         """Advance one step: drain the battery, then move."""
-        self.battery.step()
+        if self._battery_drains:
+            self.battery.step()
         self.position = self.mobility.move(self.position, arena)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -5,31 +5,93 @@ radio range.  With Minar-style homogeneous radios this relation is
 symmetric; with the paper's heterogeneous (and battery-shrinking) ranges
 it generally is not, giving the directed graph of §II-A.
 
-:class:`Topology` recomputes the adjacency on demand — the routing world
-recomputes every step as nodes move; the mapping world recomputes only
-when a degradation event fires.  Recomputation uses a uniform spatial
-grid so the cost is near-linear in the number of nodes for realistic
-densities instead of the naive O(n^2).
+:class:`Topology` keeps the adjacency current *incrementally*: a
+persistent uniform spatial grid re-buckets only nodes that changed grid
+cell, a maintained reverse-adjacency index answers ``in_neighbors`` in
+O(in-degree), and every refresh emits an edge-delta stream
+(:class:`TopologyDelta`) that downstream caches — the delta-aware
+connectivity metric — consume instead of re-deriving the world from
+scratch.  Only nodes whose position or effective range actually changed
+since the last refresh (plus fault-state transitions) pay any edge
+work; a fully static network refreshes in O(n) change detection.
+
+The original rebuild-from-scratch path is retained (``incremental=False``
+or :meth:`force_full_rebuild`) as the reference implementation: the two
+are bit-identical by construction — both evaluate the same
+``dist²(u, v) <= range(u)²`` predicate — and the test suite
+property-checks the equivalence on randomized mobility traces, while
+:meth:`consistency_problems` lets the runtime invariant checker
+cross-validate the incremental state against a fresh naive recompute
+every step.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
+from repro.net.battery import NoDrain
 from repro.net.geometry import Arena
 from repro.net.graphutils import Adjacency, edge_count, is_strongly_connected
+from repro.net.mobility import Stationary
 from repro.net.node import Node
 from repro.types import Edge, NodeId
 
-__all__ = ["Topology"]
+try:  # optional fast path; the grid path below needs nothing but stdlib
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+__all__ = ["Topology", "TopologyDelta", "TopologyStats"]
+
+#: spacing of packed grid keys: key = ix * _STRIDE + iy.  Cell indices
+#: are tiny (arena size over mean radio range), so 2**16 never collides.
+_STRIDE = 1 << 16
+
+#: buffered delta edges beyond which the stream collapses into a full
+#: flush — protects worlds that never attach a delta consumer.
+_DELTA_CAP = 100_000
+
+
+@dataclass
+class TopologyStats:
+    """Always-on counters describing how the engine keeps itself current."""
+
+    #: rebuild-from-scratch passes (first build, naive mode, fallbacks).
+    full_rebuilds: int = 0
+    #: incremental refresh passes.
+    incremental_refreshes: int = 0
+    #: nodes whose edges were recomputed across all refreshes.
+    dirty_nodes: int = 0
+    #: nodes moved between grid buckets.
+    rebucketed: int = 0
+    #: directed edges added incrementally (full rebuilds not counted).
+    edges_added: int = 0
+    #: directed edges removed incrementally.
+    edges_removed: int = 0
+
+
+@dataclass
+class TopologyDelta:
+    """One drained batch of edge changes since the previous drain.
+
+    ``full`` means the adjacency was rebuilt wholesale (first build,
+    naive mode, or buffer overflow) and consumers must flush anything
+    derived from earlier state; ``added``/``removed`` are then empty.
+    """
+
+    full: bool = False
+    added: List[Edge] = field(default_factory=list)
+    removed: List[Edge] = field(default_factory=list)
 
 
 class Topology:
     """Directed wireless topology over a fixed set of nodes."""
 
-    def __init__(self, nodes: Sequence[Node], arena: Arena) -> None:
+    def __init__(
+        self, nodes: Sequence[Node], arena: Arena, incremental: bool = True
+    ) -> None:
         if not nodes:
             raise TopologyError("a topology needs at least one node")
         ids = [node.node_id for node in nodes]
@@ -38,9 +100,39 @@ class Topology:
         self.nodes: List[Node] = list(nodes)
         self.arena = arena
         self._adjacency: Adjacency = {node.node_id: set() for node in nodes}
+        self._reverse: Adjacency = {node.node_id: set() for node in nodes}
         self._dirty = True
         self._down: Set[NodeId] = set()
         self._blocked: Set[Edge] = set()
+        self._incremental = incremental
+        #: set by :mod:`repro.net.manual` for pinned (non-geometric) graphs.
+        self._pinned = False
+        self.stats = TopologyStats()
+        # --- incremental engine state (populated on first build) -------
+        self._built = False
+        #: vectorize dirty-node edge recomputation with numpy when it is
+        #: importable; the spatial-grid path is the pure-Python fallback
+        #: (and stays the reference for the vector path in tests).
+        self._vector = _np is not None
+        self._ax = self._ay = self._ar = self._alive = None
+        self._adj_mask = None
+        self._dynamic_nodes: Optional[List[Node]] = None
+        self._cell: Optional[float] = None
+        self._grid: Dict[int, Set[NodeId]] = {}
+        self._cx: List[int] = []
+        self._cy: List[int] = []
+        self._px: List[float] = []
+        self._py: List[float] = []
+        self._pr: List[float] = []
+        self._applied_down: Set[NodeId] = set()
+        self._applied_blocked: Set[Edge] = set()
+        self._sender_grid: Dict[int, Set[NodeId]] = {}
+        self._sender_stamp: Dict[NodeId, Tuple[int, int, int, int]] = {}
+        # --- edge-delta stream ------------------------------------------
+        self._delta_full = True
+        self._delta_added: List[Edge] = []
+        self._delta_removed: List[Edge] = []
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Recomputation
@@ -51,11 +143,69 @@ class Topology:
         self._dirty = True
 
     def recompute(self) -> None:
-        """Rebuild the adjacency from current positions and ranges.
+        """Bring the adjacency up to date with positions and ranges.
 
-        Nodes marked down (:meth:`set_node_down`) have their radios
-        silenced: they emit no links and appear in nobody's neighbour
-        set.  Blacked-out links (:meth:`block_edge`) are removed last.
+        In incremental mode (the default) only nodes whose position,
+        effective range, or fault state changed since the last refresh
+        have their edges recomputed; nodes marked down
+        (:meth:`set_node_down`) have their radios silenced and
+        blacked-out links (:meth:`block_edge`) stay suppressed, exactly
+        as in the naive rebuild.
+        """
+        if self._incremental and self._built:
+            self._refresh_incremental()
+        else:
+            self.force_full_rebuild()
+
+    def force_full_rebuild(self) -> None:
+        """Rebuild the adjacency from scratch (the reference path)."""
+        adjacency = self._compute_adjacency()
+        reverse: Adjacency = {node: set() for node in self._adjacency}
+        for source, successors in adjacency.items():
+            for destination in successors:
+                reverse[destination].add(source)
+        self._adjacency = adjacency
+        self._reverse = reverse
+        self._record_full_delta()
+        self.stats.full_rebuilds += 1
+        self._epoch += 1
+        if self._incremental:
+            self._init_incremental_state()
+        self._applied_down = set(self._down)
+        self._applied_blocked = set(self._blocked)
+        self._dirty = False
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the incremental engine is active."""
+        return self._incremental
+
+    def set_incremental(self, enabled: bool) -> None:
+        """Switch engine modes; the next refresh rebuilds from scratch."""
+        if enabled != self._incremental:
+            self._incremental = enabled
+            self._built = False
+            self._dirty = True
+
+    def set_vectorized(self, enabled: bool) -> None:
+        """Choose between the numpy and spatial-grid refresh paths.
+
+        Both are bit-identical to the naive rebuild; this exists so
+        tests exercise the grid path on machines that have numpy, and as
+        an escape hatch.  The next refresh rebuilds from scratch.
+        """
+        if enabled and _np is None:
+            raise TopologyError("numpy is not available for the vectorized path")
+        if enabled != self._vector:
+            self._vector = enabled
+            self._built = False
+            self._dirty = True
+
+    def _compute_adjacency(self) -> Adjacency:
+        """A fresh adjacency from current positions, ranges, and faults.
+
+        This is the naive rebuild-from-scratch algorithm, kept verbatim
+        as the semantic ground truth the incremental engine must match.
         """
         ranges = [node.current_range() for node in self.nodes]
         positive = [
@@ -65,17 +215,23 @@ class Topology:
         adjacency: Adjacency = {node.node_id: set() for node in self.nodes}
         if positive:
             cell = sum(positive) / len(positive)
-            grid: Dict[Tuple[int, int], List[Node]] = defaultdict(list)
+            grid: Dict[Tuple[int, int], List[Node]] = {}
             for node in self.nodes:
                 if node.node_id in self._down:
                     continue
-                grid[self._cell_of(node, cell)].append(node)
+                key = (int(node.position.x / cell), int(node.position.y / cell))
+                bucket = grid.get(key)
+                if bucket is None:
+                    grid[key] = [node]
+                else:
+                    bucket.append(node)
             for node, radius in zip(self.nodes, ranges):
                 if radius <= 0.0 or node.node_id in self._down:
                     continue
                 successors = adjacency[node.node_id]
                 reach = int(radius / cell) + 1
-                cx, cy = self._cell_of(node, cell)
+                cx = int(node.position.x / cell)
+                cy = int(node.position.y / cell)
                 radius_sq = radius * radius
                 for ix in range(cx - reach, cx + reach + 1):
                     for iy in range(cy - reach, cy + reach + 1):
@@ -92,17 +248,541 @@ class Topology:
                 successors = adjacency.get(source)
                 if successors is not None:
                     successors.discard(destination)
-        self._adjacency = adjacency
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Incremental engine
+    # ------------------------------------------------------------------
+
+    def _init_incremental_state(self) -> None:
+        """(Re)build the persistent caches after a full rebuild."""
+        nodes = self.nodes
+        n = len(nodes)
+        self._px = [node.position.x for node in nodes]
+        self._py = [node.position.y for node in nodes]
+        self._pr = [node.current_range() for node in nodes]
+        if self._vector:
+            self._ax = _np.array(self._px, dtype=_np.float64)
+            self._ay = _np.array(self._py, dtype=_np.float64)
+            self._ar = _np.array(self._pr, dtype=_np.float64)
+            self._alive = _np.ones(n, dtype=bool)
+            for i in self._down:
+                self._alive[i] = False
+            # Boolean mirror of the adjacency: lets a refresh diff a
+            # recomputed row against the current one entirely in numpy
+            # and touch only the (few) actually-changed pairs.  n^2
+            # bools is tiny at this library's scales (250 nodes -> 62 kB).
+            mask = _np.zeros((n, n), dtype=bool)
+            for u, successors in self._adjacency.items():
+                if successors:
+                    mask[u, list(successors)] = True
+            self._adj_mask = mask
+            self._built = True
+            return
+        positive = [
+            r for i, r in enumerate(self._pr) if r > 0.0 and i not in self._down
+        ]
+        if not positive:
+            # No radios on the air: defer grid construction until a
+            # refresh finds a live positive range (falls back to full).
+            self._built = False
+            return
+        self._cell = sum(positive) / len(positive)
+        cell = self._cell
+        self._cx = [int(x / cell) for x in self._px]
+        self._cy = [int(y / cell) for y in self._py]
+        grid: Dict[int, Set[NodeId]] = {}
+        for i in range(n):
+            if i in self._down:
+                continue
+            key = self._cx[i] * _STRIDE + self._cy[i]
+            bucket = grid.get(key)
+            if bucket is None:
+                grid[key] = {i}
+            else:
+                bucket.add(i)
+        self._grid = grid
+        self._sender_grid = {}
+        self._sender_stamp = {}
+        for i in range(n):
+            if i not in self._down:
+                self._sender_add(i)
+        self._built = True
+
+    def _sender_add(self, v: NodeId) -> None:
+        """Stamp ``v``'s coverage disk into the clean-sender grid."""
+        cell = self._cell
+        r = self._pr[v]
+        x, y = self._px[v], self._py[v]
+        x0, x1 = int((x - r) / cell), int((x + r) / cell)
+        y0, y1 = int((y - r) / cell), int((y + r) / cell)
+        self._sender_stamp[v] = (x0, x1, y0, y1)
+        grid = self._sender_grid
+        for ix in range(x0, x1 + 1):
+            base = ix * _STRIDE
+            for iy in range(y0, y1 + 1):
+                bucket = grid.get(base + iy)
+                if bucket is None:
+                    grid[base + iy] = {v}
+                else:
+                    bucket.add(v)
+
+    def _sender_remove(self, v: NodeId) -> None:
+        stamp = self._sender_stamp.pop(v, None)
+        if stamp is None:
+            return
+        x0, x1, y0, y1 = stamp
+        grid = self._sender_grid
+        for ix in range(x0, x1 + 1):
+            base = ix * _STRIDE
+            for iy in range(y0, y1 + 1):
+                bucket = grid.get(base + iy)
+                if bucket is not None:
+                    bucket.discard(v)
+                    if not bucket:
+                        del grid[base + iy]
+
+    def _grid_discard(self, u: NodeId) -> None:
+        key = self._cx[u] * _STRIDE + self._cy[u]
+        bucket = self._grid.get(key)
+        if bucket is not None:
+            bucket.discard(u)
+            if not bucket:
+                del self._grid[key]
+
+    def _grid_insert(self, u: NodeId, cx: int, cy: int) -> None:
+        key = cx * _STRIDE + cy
+        bucket = self._grid.get(key)
+        if bucket is None:
+            self._grid[key] = {u}
+        else:
+            bucket.add(u)
+
+    def _refresh_incremental(self) -> None:
+        nodes = self.nodes
+        n = len(nodes)
+        vector = self._vector
+        cell = self._cell
+        px, py, pr = self._px, self._py, self._pr
+        cxs, cys = self._cx, self._cy
+        down = self._down
+        adjacency = self._adjacency
+        reverse = self._reverse
+        stats = self.stats
+        added: List[Edge] = []
+        removed: List[Edge] = []
+
+        # 1. Detect hardware changes (position / effective range).
+        moved: List[NodeId] = []
+        range_changed: List[NodeId] = []
+        moved_append = moved.append
+        range_append = range_changed.append
+        for i, node in enumerate(nodes):
+            pos = node.position
+            x = pos.x
+            y = pos.y
+            if x != px[i] or y != py[i]:
+                moved_append(i)
+                px[i] = x
+                py[i] = y
+            r = node.radio.current_range()
+            if r != pr[i]:
+                range_append(i)
+                pr[i] = r
+        if vector:
+            # Bulk-refresh the float arrays from the (already updated)
+            # scalar lists — cheaper than per-element numpy writes.
+            if moved:
+                self._ax = _np.asarray(px)
+                self._ay = _np.asarray(py)
+            if range_changed:
+                self._ar = _np.asarray(pr)
+
+        # 2. Fault-state transitions since the last applied refresh.
+        newly_down = down - self._applied_down
+        newly_up = self._applied_down - down
+        blocked = self._blocked
+        blocked_new = blocked - self._applied_blocked
+        unblocked = self._applied_blocked - blocked
+
+        for u in newly_down:
+            out = adjacency[u]
+            if out:
+                for w in out:
+                    reverse[w].discard(u)
+                    removed.append((u, w))
+                adjacency[u] = set()
+            ins = reverse[u]
+            if ins:
+                for v in ins:
+                    adjacency[v].discard(u)
+                    removed.append((v, u))
+                reverse[u] = set()
+            if vector:
+                self._alive[u] = False
+                self._adj_mask[u, :] = False
+                self._adj_mask[:, u] = False
+            else:
+                self._grid_discard(u)
+                self._sender_remove(u)
+
+        for u in newly_up:
+            if vector:
+                self._alive[u] = True
+            else:
+                cxs[u] = int(px[u] / cell)
+                cys[u] = int(py[u] / cell)
+                self._grid_insert(u, cxs[u], cys[u])
+
+        # 3. Re-bucket live nodes that crossed a grid-cell boundary.
+        if not vector:
+            for u in moved:
+                if u in down:
+                    continue
+                ncx = int(px[u] / cell)
+                ncy = int(py[u] / cell)
+                if ncx != cxs[u] or ncy != cys[u]:
+                    self._grid_discard(u)
+                    cxs[u] = ncx
+                    cys[u] = ncy
+                    self._grid_insert(u, ncx, ncy)
+                    stats.rebucketed += 1
+
+        # 4. Dirty sets: out_dirty nodes rebuild their out-edges;
+        #    in_dirty (position changed) also refresh their in-edges.
+        out_dirty: Set[NodeId] = set(newly_up)
+        in_dirty: Set[NodeId] = set(newly_up)
+        for u in moved:
+            if u not in down:
+                out_dirty.add(u)
+                in_dirty.add(u)
+        for u in range_changed:
+            if u not in down:
+                out_dirty.add(u)
+
+        # 5. Clean-sender grid: dirty nodes leave; yesterday's dirty
+        #    nodes that are clean again re-stamp their (current) disks.
+        if not vector:
+            stamped = self._sender_stamp
+            for u in out_dirty:
+                if u in stamped:
+                    self._sender_remove(u)
+            for u in range(n):
+                if u not in stamped and u not in down and u not in out_dirty:
+                    self._sender_add(u)
+
+        # 6. Link blackout transitions for otherwise-clean sources.
+        self._applied_blocked = set(blocked)
+        blocked_by_src: Dict[NodeId, Set[NodeId]] = {}
+        if blocked:
+            for s, t in blocked:
+                blocked_by_src.setdefault(s, set()).add(t)
+        for s, t in blocked_new:
+            if s not in out_dirty and t in adjacency[s]:
+                adjacency[s].discard(t)
+                reverse[t].discard(s)
+                removed.append((s, t))
+                if vector:
+                    self._adj_mask[s, t] = False
+        for s, t in unblocked:
+            if s in out_dirty or s in down or t in down:
+                continue
+            r = pr[s]
+            if r > 0.0 and (px[s] - px[t]) ** 2 + (py[s] - py[t]) ** 2 <= r * r:
+                adjacency[s].add(t)
+                reverse[t].add(s)
+                added.append((s, t))
+                if vector:
+                    self._adj_mask[s, t] = True
+
+        # 7 & 8. Edge recomputation for the dirty sets.
+        if vector:
+            self._vector_fixups(
+                out_dirty, in_dirty, blocked, blocked_by_src, added, removed
+            )
+        else:
+            self._grid_fixups(
+                out_dirty, in_dirty, blocked, blocked_by_src, added, removed
+            )
+
+        # 9. Commit: delta stream, stats, epoch.
+        self._applied_down = set(down)
+        if not self._delta_full:
+            self._delta_added.extend(added)
+            self._delta_removed.extend(removed)
+            if len(self._delta_added) + len(self._delta_removed) > _DELTA_CAP:
+                self._record_full_delta()
+        stats.incremental_refreshes += 1
+        stats.dirty_nodes += len(out_dirty)
+        stats.edges_added += len(added)
+        stats.edges_removed += len(removed)
+        self._epoch += 1
         self._dirty = False
 
-    @staticmethod
-    def _cell_of(node: Node, cell: float) -> Tuple[int, int]:
-        return (int(node.position.x / cell), int(node.position.y / cell))
+    def _grid_fixups(
+        self,
+        out_dirty: Set[NodeId],
+        in_dirty: Set[NodeId],
+        blocked: Set[Edge],
+        blocked_by_src: Dict[NodeId, Set[NodeId]],
+        added: List[Edge],
+        removed: List[Edge],
+    ) -> None:
+        """Pure-Python edge recomputation for the dirty sets.
+
+        Out-edges of dirty nodes come from a scan of the persistent main
+        grid; in-edges of moved nodes are fixed up via the reverse index
+        (drops) and the clean-sender disk grid (gains).
+        """
+        adjacency = self._adjacency
+        reverse = self._reverse
+        px, py, pr = self._px, self._py, self._pr
+        cxs, cys = self._cx, self._cy
+        cell = self._cell
+        grid_get = self._grid.get
+        for u in out_dirty:
+            r = pr[u]
+            if r <= 0.0:
+                new_out: Set[NodeId] = set()
+            else:
+                reach = int(r / cell) + 1
+                cx, cy = cxs[u], cys[u]
+                rsq = r * r
+                x, y = px[u], py[u]
+                new_out = set()
+                add = new_out.add
+                for ix in range(cx - reach, cx + reach + 1):
+                    base = ix * _STRIDE
+                    for iy in range(cy - reach, cy + reach + 1):
+                        bucket = grid_get(base + iy)
+                        if bucket:
+                            for v in bucket:
+                                if v != u and (
+                                    (x - px[v]) ** 2 + (y - py[v]) ** 2 <= rsq
+                                ):
+                                    add(v)
+                if blocked:
+                    hidden = blocked_by_src.get(u)
+                    if hidden:
+                        new_out -= hidden
+            old_out = adjacency[u]
+            if new_out != old_out:
+                for w in old_out - new_out:
+                    reverse[w].discard(u)
+                    removed.append((u, w))
+                for w in new_out - old_out:
+                    reverse[w].add(u)
+                    added.append((u, w))
+                adjacency[u] = new_out
+
+        sender_get = self._sender_grid.get
+        for u in in_dirty:
+            x, y = px[u], py[u]
+            ins = reverse[u]
+            if ins:
+                for v in [v for v in ins if v not in out_dirty]:
+                    rv = pr[v]
+                    if (px[v] - x) ** 2 + (py[v] - y) ** 2 > rv * rv:
+                        adjacency[v].discard(u)
+                        ins.discard(v)
+                        removed.append((v, u))
+            bucket = sender_get(cxs[u] * _STRIDE + cys[u])
+            if bucket:
+                for v in bucket:
+                    if v == u or u in adjacency[v]:
+                        continue
+                    rv = pr[v]
+                    if (px[v] - x) ** 2 + (py[v] - y) ** 2 <= rv * rv:
+                        if blocked and (v, u) in blocked:
+                            continue
+                        adjacency[v].add(u)
+                        ins.add(v)
+                        added.append((v, u))
+
+    def _vector_fixups(
+        self,
+        out_dirty: Set[NodeId],
+        in_dirty: Set[NodeId],
+        blocked: Set[Edge],
+        blocked_by_src: Dict[NodeId, Set[NodeId]],
+        added: List[Edge],
+        removed: List[Edge],
+    ) -> None:
+        """Vectorized edge recomputation for the dirty sets.
+
+        One ``dirty x all-nodes`` block gives the out-edges of every
+        dirty node; one ``clean-senders x moved`` block gives the
+        in-edges of moved nodes from otherwise-clean senders.  Each
+        element evaluates the same ``(xu-xv)**2 + (yu-yv)**2 <= r**2``
+        predicate in IEEE float64 that the scalar paths use, so the
+        resulting edge sets are bit-identical.  The recomputed blocks
+        are diffed against the boolean adjacency mirror wholly in
+        numpy, so Python-level work scales with the number of *changed*
+        edges, not with the dirty block's area.
+        """
+        if not out_dirty:
+            return
+        adjacency = self._adjacency
+        reverse = self._reverse
+        ax, ay, ar = self._ax, self._ay, self._ar
+        alive = self._alive
+        adj_mask = self._adj_mask
+        dirty_list = sorted(out_dirty)
+        d = len(dirty_list)
+        idx = _np.fromiter(dirty_list, dtype=_np.int64, count=d)
+        # dist²(dirty, all), built in place: (x_v - x_u)² + (y_v - y_u)²
+        # is bit-identical to (x_u - x_v)² + ... (IEEE negation is exact),
+        # so one block serves both the out- and in-edge predicates below.
+        d2 = ax - ax[idx][:, None]
+        d2 *= d2
+        dy = ay - ay[idx][:, None]
+        dy *= dy
+        d2 += dy
+        radius = ar[idx]
+        mask = d2 <= (radius * radius)[:, None]
+        if self._down:
+            mask &= alive
+        mask[radius <= 0.0, :] = False
+        mask[_np.arange(d), idx] = False  # no self-loops
+        if blocked:
+            for i, u in enumerate(dirty_list):
+                hidden = blocked_by_src.get(u)
+                if hidden:
+                    mask[i, list(hidden)] = False
+        old_rows = adj_mask[idx]
+        # flatnonzero on the contiguous bool diff is ~10x cheaper than
+        # 2-D nonzero; recover (row, col) from the flat index instead.
+        n = len(self.nodes)
+        flat = _np.flatnonzero(mask ^ old_rows)
+        for f in flat.tolist():
+            i, w = divmod(f, n)
+            u = dirty_list[i]
+            if mask[i, w]:
+                adjacency[u].add(w)
+                reverse[w].add(u)
+                added.append((u, w))
+            else:
+                adjacency[u].discard(w)
+                reverse[w].discard(u)
+                removed.append((u, w))
+        adj_mask[idx] = mask
+
+        if not in_dirty:
+            return
+        # In-edges of moved receivers from clean senders: reuse the same
+        # dist² rows (distance is symmetric), compared against each
+        # *sender's* range this time.  Dirty senders were handled above,
+        # so their columns are masked out of both sides of the diff.
+        recv_list = sorted(in_dirty)
+        if recv_list == dirty_list:
+            rows = d2
+            ridx = idx
+        else:  # in_dirty is a subset of out_dirty by construction
+            ridx = _np.fromiter(recv_list, dtype=_np.int64, count=len(recv_list))
+            rows = d2[_np.searchsorted(idx, ridx)]
+        smask = rows <= ar * ar  # [j, v]: v's radio covers receiver j
+        sender_cols = ar > 0.0
+        if self._down:
+            sender_cols &= alive
+        sender_cols[idx] = False
+        smask &= sender_cols
+        if blocked:
+            recv_pos = {u: j for j, u in enumerate(recv_list)}
+            for v, u in blocked:
+                j = recv_pos.get(u)
+                if j is not None:
+                    smask[j, v] = False
+        old_in = adj_mask.T[ridx]  # copies: [j, v] = edge v->recv_j now
+        old_in &= sender_cols
+        flat = _np.flatnonzero(smask ^ old_in)
+        for f in flat.tolist():
+            j, v = divmod(f, n)
+            u = recv_list[j]
+            if smask[j, v]:
+                adjacency[v].add(u)
+                reverse[u].add(v)
+                added.append((v, u))
+                adj_mask[v, u] = True
+            else:
+                adjacency[v].discard(u)
+                reverse[u].discard(v)
+                removed.append((v, u))
+                adj_mask[v, u] = False
+
+    def _record_full_delta(self) -> None:
+        self._delta_full = True
+        self._delta_added = []
+        self._delta_removed = []
+
+    def _install_adjacency(self, adjacency: Adjacency) -> None:
+        """Adopt an externally computed adjacency (pinned topologies).
+
+        Diffs against the current state so the reverse index, the delta
+        stream, and the stats counters stay truthful.
+        """
+        old = self._adjacency
+        reverse = self._reverse
+        added: List[Edge] = []
+        removed: List[Edge] = []
+        for u, new_out in adjacency.items():
+            old_out = old[u]
+            if new_out == old_out:
+                continue
+            for w in old_out - new_out:
+                reverse[w].discard(u)
+                removed.append((u, w))
+            for w in new_out - old_out:
+                reverse[w].add(u)
+                added.append((u, w))
+        self._adjacency = adjacency
+        if self._adj_mask is not None:
+            for u, w in added:
+                self._adj_mask[u, w] = True
+            for u, w in removed:
+                self._adj_mask[u, w] = False
+        if not self._delta_full:
+            self._delta_added.extend(added)
+            self._delta_removed.extend(removed)
+            if len(self._delta_added) + len(self._delta_removed) > _DELTA_CAP:
+                self._record_full_delta()
+        self.stats.edges_added += len(added)
+        self.stats.edges_removed += len(removed)
+        self._applied_down = set(self._down)
+        self._applied_blocked = set(self._blocked)
+        self._epoch += 1
+        self._dirty = False
 
     def _current(self) -> Adjacency:
         if self._dirty:
             self.recompute()
         return self._adjacency
+
+    # ------------------------------------------------------------------
+    # Edge-delta stream
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic refresh counter (bumped on every applied refresh)."""
+        return self._epoch
+
+    def take_edge_delta(self) -> TopologyDelta:
+        """Drain the edge changes accumulated since the previous drain.
+
+        Refreshes the adjacency first, so the drained delta includes the
+        current step.  The stream starts (and restarts after any full
+        rebuild or overflow) with a ``full=True`` flush marker.
+        """
+        self._current()
+        delta = TopologyDelta(
+            full=self._delta_full,
+            added=self._delta_added,
+            removed=self._delta_removed,
+        )
+        self._delta_full = False
+        self._delta_added = []
+        self._delta_removed = []
+        return delta
 
     # ------------------------------------------------------------------
     # Queries
@@ -136,15 +816,30 @@ class Topology:
         return adjacency[node_id]
 
     def in_neighbors(self, node_id: NodeId) -> Set[NodeId]:
-        """Nodes that can currently reach ``node_id`` in one hop."""
-        adjacency = self._current()
-        if node_id not in adjacency:
+        """Nodes that can currently reach ``node_id`` in one hop.
+
+        Served from the maintained reverse-adjacency index in
+        O(in-degree); the returned set is the live internal one — treat
+        it as read-only.
+        """
+        self._current()
+        if node_id not in self._reverse:
             raise TopologyError(f"no node with id {node_id}")
-        return {u for u, succs in adjacency.items() if node_id in succs}
+        return self._reverse[node_id]
 
     def has_edge(self, source: NodeId, destination: NodeId) -> bool:
-        """Whether the directed link ``source -> destination`` exists now."""
-        return destination in self._current().get(source, ())
+        """Whether the directed link ``source -> destination`` exists now.
+
+        Unknown ids raise :class:`~repro.errors.TopologyError`, matching
+        :meth:`out_neighbors` / :meth:`in_neighbors` — an id typo must
+        never read as "no link".
+        """
+        adjacency = self._current()
+        if source not in adjacency:
+            raise TopologyError(f"no node with id {source}")
+        if destination not in adjacency:
+            raise TopologyError(f"no node with id {destination}")
+        return destination in adjacency[source]
 
     def edges(self) -> Iterator[Edge]:
         """Iterate all current directed edges in deterministic order."""
@@ -165,6 +860,16 @@ class Topology:
     def adjacency_copy(self) -> Adjacency:
         """A deep copy of the current adjacency (safe to mutate)."""
         return {node: set(successors) for node, successors in self._current().items()}
+
+    def adjacency_view(self) -> Adjacency:
+        """The live current adjacency mapping — treat it as read-only.
+
+        For hot loops that would otherwise call :meth:`out_neighbors`
+        per node: one refresh check up front, then plain dict lookups.
+        The mapping and its sets are the engine's own state; the view is
+        only valid until the next refresh.
+        """
+        return self._current()
 
     def is_strongly_connected(self) -> bool:
         """Whether every node can currently reach every other node."""
@@ -187,6 +892,49 @@ class Topology:
     def all_gateway_ids(self) -> List[NodeId]:
         """Ids of every gateway node, up or down, ascending."""
         return [node.node_id for node in self.nodes if node.is_gateway]
+
+    # ------------------------------------------------------------------
+    # Consistency checking
+    # ------------------------------------------------------------------
+
+    def consistency_problems(self) -> List[str]:
+        """Cross-validate the engine's internal indices; [] when sound.
+
+        Checks that the reverse index mirrors the adjacency exactly and
+        — for geometric (non-pinned) topologies — that the maintained
+        adjacency is bit-identical to a fresh rebuild-from-scratch
+        computation.  Wired into the runtime invariant checker.
+        """
+        problems: List[str] = []
+        adjacency = self._current()
+        reverse = self._reverse
+        for u, outs in adjacency.items():
+            for w in outs:
+                if u not in reverse.get(w, ()):
+                    problems.append(
+                        f"reverse index missing edge {u}->{w}"
+                    )
+        for w, ins in reverse.items():
+            for u in ins:
+                if w not in adjacency.get(u, ()):
+                    problems.append(
+                        f"reverse index has phantom edge {u}->{w}"
+                    )
+        if not self._pinned:
+            expected = self._compute_adjacency()
+            if expected != adjacency:
+                for u in expected:
+                    missing = expected[u] - adjacency.get(u, set())
+                    phantom = adjacency.get(u, set()) - expected[u]
+                    for w in sorted(missing):
+                        problems.append(
+                            f"incremental adjacency missing edge {u}->{w}"
+                        )
+                    for w in sorted(phantom):
+                        problems.append(
+                            f"incremental adjacency has phantom edge {u}->{w}"
+                        )
+        return problems
 
     # ------------------------------------------------------------------
     # Fault state
@@ -257,7 +1005,27 @@ class Topology:
     # ------------------------------------------------------------------
 
     def advance(self) -> None:
-        """Advance every node one step (battery + motion) and invalidate."""
-        for node in self.nodes:
-            node.advance(self.arena)
+        """Advance every node one step (battery + motion) and invalidate.
+
+        Nodes with static hardware — stationary mobility and a drainless
+        battery — are skipped: for them :meth:`Node.advance` is a no-op
+        by construction, and on mixed networks half the fleet is static.
+        The partition is computed once (mobility and battery objects are
+        fixed at node construction; faults mutate their state, never
+        replace them).
+        """
+        dynamic = self._dynamic_nodes
+        if dynamic is None:
+            dynamic = [
+                node
+                for node in self.nodes
+                if not (
+                    isinstance(node.mobility, Stationary)
+                    and isinstance(node.battery._drain_model, NoDrain)
+                )
+            ]
+            self._dynamic_nodes = dynamic
+        arena = self.arena
+        for node in dynamic:
+            node.advance(arena)
         self.invalidate()

@@ -220,6 +220,52 @@ class ObsCollector:
         if self._bus is not None:
             self._bus.emit(time, "channel_loss", count=count)
 
+    def topology_churn(
+        self, time: Time, added: int, removed: int, rebucketed: int
+    ) -> None:
+        """Record the incremental topology engine's work this step."""
+        if added <= 0 and removed <= 0 and rebucketed <= 0:
+            return
+        if self.metrics is not None:
+            registry = self.metrics
+            if added > 0:
+                registry.inc("topology.edges_added", added)
+            if removed > 0:
+                registry.inc("topology.edges_removed", removed)
+            if rebucketed > 0:
+                registry.inc("topology.rebucketed", rebucketed)
+        if self._bus is not None:
+            self._bus.emit(
+                time,
+                "topology_delta",
+                added=added,
+                removed=removed,
+                rebucketed=rebucketed,
+            )
+
+    def connectivity_cache(
+        self, time: Time, hits: int, walks: int, invalidated: int
+    ) -> None:
+        """Record the delta-aware connectivity cache's step outcome."""
+        if hits <= 0 and walks <= 0 and invalidated <= 0:
+            return
+        if self.metrics is not None:
+            registry = self.metrics
+            if hits > 0:
+                registry.inc("connectivity.cache_hits", hits)
+            if walks > 0:
+                registry.inc("connectivity.cache_walks", walks)
+            if invalidated > 0:
+                registry.inc("connectivity.cache_invalidated", invalidated)
+        if self._bus is not None:
+            self._bus.emit(
+                time,
+                "connectivity_cache",
+                hits=hits,
+                walks=walks,
+                invalidated=invalidated,
+            )
+
     # -- finalization ---------------------------------------------------
 
     def finalize(

@@ -13,17 +13,32 @@ makes the per-step metric near-linear in practice.  Failures are *not*
 cached: a node that failed via one start's preference order might still
 be reached as an intermediate hop of another chain, and correctness wins
 over the small extra work.
+
+:class:`ConnectivityCache` carries walk outcomes *across* steps: a walk
+is a pure function of the tables and links it touched, so a cached trace
+(success or failure) replays verbatim until one of those inputs moves.
+The cache watches the topology's edge-delta stream and per-table version
+counters and re-walks only the affected start nodes — by construction
+its result set is identical to :func:`connected_nodes`, which the test
+suite property-checks under mobility and crash/recover fault plans.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.topology import Topology
 from repro.routing.table import TableBank
 from repro.types import NodeId
 
-__all__ = ["walk_to_gateway", "connectivity_fraction", "connected_nodes"]
+__all__ = [
+    "walk_to_gateway",
+    "connectivity_fraction",
+    "connected_nodes",
+    "ConnectivityCache",
+    "ConnectivityCacheStats",
+]
 
 #: Default hop budget for a validity walk.
 DEFAULT_WALK_TTL = 64
@@ -41,34 +56,63 @@ def walk_to_gateway(
     out-neighbour is taken.  The walk fails on a dead end, a cycle, or
     TTL exhaustion.
     """
+    path, reached = _walk_trace(node, topology, tables, walk_ttl)
+    return path if reached else None
+
+
+def _walk_trace(
+    node: NodeId,
+    topology: Topology,
+    tables: TableBank,
+    walk_ttl: int,
+) -> Tuple[List[NodeId], bool]:
+    """The nodes a validity walk visits, and whether it reached a gateway.
+
+    Unlike :func:`walk_to_gateway` the visited trace is returned even on
+    failure — the cache needs to know *which* nodes a failed walk
+    consulted to notice when its outcome might change.
+    """
+    return _walk_trace_fast(
+        node,
+        topology.adjacency_view(),
+        tables.tables,
+        set(topology.gateway_ids),
+        walk_ttl,
+    )
+
+
+def _walk_trace_fast(
+    node: NodeId,
+    adjacency,
+    table_list,
+    gateway_set: Set[NodeId],
+    walk_ttl: int,
+) -> Tuple[List[NodeId], bool]:
+    """:func:`_walk_trace` against pre-resolved per-step context.
+
+    ``adjacency`` is the topology's live adjacency view, ``table_list``
+    the bank's node-indexed table list, and ``gateway_set`` the *live*
+    gateways — hoisting them out lets a caller walking many starts pay
+    the lookups once per step instead of once per hop.
+    """
     path = [node]
     current = node
     seen: Set[NodeId] = {node}
     for __ in range(walk_ttl):
-        if _is_live_gateway(current, topology):
-            return path
-        next_hop = _usable_next_hop(current, topology, tables, seen)
+        if current in gateway_set:
+            return path, True
+        neighbors = adjacency[current]
+        next_hop = None
+        for hop in table_list[current].hops_by_preference():
+            if hop in neighbors and hop not in seen:
+                next_hop = hop
+                break
         if next_hop is None:
-            return None
+            return path, False
         path.append(next_hop)
         seen.add(next_hop)
         current = next_hop
-    return path if _is_live_gateway(current, topology) else None
-
-
-def _is_live_gateway(node: NodeId, topology: Topology) -> bool:
-    """A gateway counts only while it is up — a crashed one is off the air."""
-    return topology.node(node).is_gateway and not topology.is_down(node)
-
-
-def _usable_next_hop(
-    current: NodeId, topology: Topology, tables: TableBank, seen: Set[NodeId]
-) -> Optional[NodeId]:
-    neighbors = topology.out_neighbors(current)
-    for entry in tables.table(current).entries_by_preference():
-        if entry.next_hop in neighbors and entry.next_hop not in seen:
-            return entry.next_hop
-    return None
+    return path, current in gateway_set
 
 
 def connected_nodes(
@@ -99,3 +143,203 @@ def connectivity_fraction(
 ) -> float:
     """Fraction of nodes currently connected to at least one gateway."""
     return len(connected_nodes(topology, tables, walk_ttl)) / topology.node_count
+
+
+@dataclass
+class ConnectivityCacheStats:
+    """Counters for the delta-aware connectivity metric."""
+
+    #: cached walk traces replayed without re-walking.
+    hits: int = 0
+    #: fresh walks performed (cache misses).
+    walks: int = 0
+    #: cached traces dropped by targeted (per-start) invalidation.
+    invalidated: int = 0
+    #: whole-cache flushes (full topology rebuild / gateway liveness).
+    flushes: int = 0
+
+
+class ConnectivityCache:
+    """Delta-aware :func:`connected_nodes`, identical by construction.
+
+    A walk trace from start ``s`` reads, at every non-terminal visited
+    node ``w``: ``w``'s ranked table and ``w``'s current out-neighbour
+    set; it then takes one hop edge.  The cached outcome therefore
+    replays verbatim while
+
+    * no visited node's table changed its *next-hop signature* — the
+      walk reads nothing of a table but the sequence of ``next_hop``
+      ids in preference order, so a version bump that merely refreshes
+      timestamps of the same routes (the common case: agents
+      re-installing known routes) cannot change any walk through it,
+    * no out-edge was *added* at a visited node (removing an unused
+      edge only strengthens the rejections that shaped the walk),
+    * every used hop edge still exists, and
+    * gateway liveness is unchanged (terminal checks).
+
+    The cache watches the topology's edge-delta stream and the table
+    versions (escalating to a signature comparison only for tables
+    whose version moved), invalidates exactly the start nodes whose
+    traces touched a changed input, and re-walks only those.  Successes
+    *and* failures are cached — both are deterministic replays.
+
+    Traces are found via two indexes — ``users`` (visited node ->
+    entries) and ``hop_users`` (used edge -> entries) — whose entries
+    are ``(start, trace_id)`` pairs appended when a walk is remembered
+    and *never* removed individually: an entry is live only while the
+    start's current trace carries the same id, so dropping a trace is
+    O(1) and stale index entries are skipped (and compacted when a list
+    grows past a threshold) instead of eagerly unlinked.  When a node
+    or edge triggers invalidation its whole entry list is popped: every
+    live trace in it is being killed anyway.
+    """
+
+    #: index entry lists are compacted (stale entries dropped) at this size.
+    _COMPACT_AT = 128
+
+    def __init__(
+        self,
+        topology: Topology,
+        tables: TableBank,
+        walk_ttl: int = DEFAULT_WALK_TTL,
+    ) -> None:
+        self.topology = topology
+        self.tables = tables
+        self.walk_ttl = walk_ttl
+        self.stats = ConnectivityCacheStats()
+        #: start -> (visited trace, reached a gateway, trace id)
+        self._traces: Dict[NodeId, Tuple[List[NodeId], bool, int]] = {}
+        self._trace_seq = 0
+        self._users: Dict[NodeId, List[Tuple[NodeId, int]]] = {}
+        self._hop_users: Dict[Tuple[NodeId, NodeId], List[Tuple[NodeId, int]]] = {}
+        self._versions: List[int] = [table.version for table in tables.tables]
+        self._signatures: List[Tuple[NodeId, ...]] = [
+            table.hops_by_preference() for table in tables.tables
+        ]
+        self._live_gateways: Tuple[NodeId, ...] = ()
+
+    def connected(self) -> Set[NodeId]:
+        """Every node with a currently valid route to some gateway.
+
+        Bit-identical to ``connected_nodes(topology, tables, walk_ttl)``.
+        """
+        topology = self.topology
+        tables = self.tables
+        stats = self.stats
+        delta = topology.take_edge_delta()  # refreshes the topology
+        gateways = tuple(topology.gateway_ids)
+        if delta.full or gateways != self._live_gateways:
+            if self._traces:
+                stats.flushes += 1
+            self._flush()
+            self._live_gateways = gateways
+        else:
+            if delta.removed:
+                hop_users = self._hop_users
+                for edge in delta.removed:
+                    entries = hop_users.pop(edge, None)
+                    if entries:
+                        self._kill_entries(entries)
+            if delta.added:
+                users_index = self._users
+                for source in {edge[0] for edge in delta.added}:
+                    entries = users_index.pop(source, None)
+                    if entries:
+                        self._kill_entries(entries)
+        versions = self._versions
+        signatures = self._signatures
+        users_index = self._users
+        for node, table in enumerate(tables.tables):
+            version = table.version
+            if version != versions[node]:
+                versions[node] = version
+                signature = table.hops_by_preference()
+                if signature == signatures[node]:
+                    continue  # same routes in the same order: walks hold
+                signatures[node] = signature
+                entries = users_index.pop(node, None)
+                if entries:
+                    self._kill_entries(entries)
+
+        connected: Set[NodeId] = set(gateways)
+        down = topology.down_ids
+        traces = self._traces
+        adjacency = topology.adjacency_view()
+        table_list = tables.tables
+        gateway_set = set(gateways)
+        walk_ttl = self.walk_ttl
+        for node in topology.node_ids:
+            if node in connected or node in down:
+                continue
+            cached = traces.get(node)
+            if cached is not None:
+                stats.hits += 1
+                path = cached[0]
+                reached = cached[1]
+            else:
+                path, reached = _walk_trace_fast(
+                    node, adjacency, table_list, gateway_set, walk_ttl
+                )
+                stats.walks += 1
+                self._remember(node, path, reached)
+            if reached:
+                connected.update(path)
+        return connected
+
+    def _remember(self, start: NodeId, path: List[NodeId], reached: bool) -> None:
+        self._trace_seq += 1
+        trace_id = self._trace_seq
+        self._traces[start] = (path, reached, trace_id)
+        entry = (start, trace_id)
+        compact_at = self._COMPACT_AT
+        # A success never reads the terminal gateway's table or edges,
+        # so don't index it — route churn *at* gateways is constant and
+        # would invalidate every path ending there for nothing.
+        users_index = self._users
+        hop_users = self._hop_users
+        last = len(path) - 1
+        prev = None
+        for position, node in enumerate(path):
+            if prev is not None:
+                hop = (prev, node)
+                entries = hop_users.get(hop)
+                if entries is None:
+                    hop_users[hop] = [entry]
+                else:
+                    entries.append(entry)
+                    if len(entries) >= compact_at:
+                        self._compact(entries)
+            if position != last or not reached:
+                entries = users_index.get(node)
+                if entries is None:
+                    users_index[node] = [entry]
+                else:
+                    entries.append(entry)
+                    if len(entries) >= compact_at:
+                        self._compact(entries)
+            prev = node
+
+    def _kill_entries(self, entries: List[Tuple[NodeId, int]]) -> None:
+        """Drop every still-live trace referenced by an index entry list."""
+        traces = self._traces
+        invalidated = 0
+        for start, trace_id in entries:
+            cached = traces.get(start)
+            if cached is not None and cached[2] == trace_id:
+                del traces[start]
+                invalidated += 1
+        self.stats.invalidated += invalidated
+
+    def _compact(self, entries: List[Tuple[NodeId, int]]) -> None:
+        """Drop stale (superseded) entries from one index list in place."""
+        traces = self._traces
+        entries[:] = [
+            entry
+            for entry in entries
+            if (cached := traces.get(entry[0])) is not None and cached[2] == entry[1]
+        ]
+
+    def _flush(self) -> None:
+        self._traces.clear()
+        self._users.clear()
+        self._hop_users.clear()

@@ -77,9 +77,23 @@ class RoutingTable:
         #: per-gateway high-water mark of accepted sequence numbers;
         #: survives TTL expiry so resurrection of stale routes is barred.
         self._sequence_floors: Dict[NodeId, int] = {}
+        #: bumped on every observable content change (install, expiry,
+        #: drops, clear, corruption) — lets caches notice at a glance
+        #: that nothing here moved.
+        self.version = 0
+        self._ranked: Optional[List[RouteEntry]] = None
+        self._hops_ranked: Optional[tuple] = None
+        #: lower bound on the oldest ``installed_at`` present; lets
+        #: :meth:`expire` skip the scan when nothing can be stale yet.
+        self._oldest: Optional[Time] = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _touch(self) -> None:
+        self.version += 1
+        self._ranked = None
+        self._hops_ranked = None
 
     def install(self, entry: RouteEntry) -> bool:
         """Install ``entry`` unless a better route to its gateway exists.
@@ -97,6 +111,9 @@ class RoutingTable:
         if current is None or entry.fresher_than(current):
             self._entries[entry.gateway] = entry
             self._sequence_floors[entry.gateway] = entry.sequence
+            if self._oldest is None or entry.installed_at < self._oldest:
+                self._oldest = entry.installed_at
+            self._touch()
             return True
         return False
 
@@ -105,13 +122,32 @@ class RoutingTable:
         return self._sequence_floors.get(gateway, 0)
 
     def expire(self, now: Time) -> int:
-        """Drop entries older than ``ttl``; returns how many were dropped."""
+        """Drop entries ``ttl`` or more steps old; returns how many dropped.
+
+        An entry installed at time ``t`` survives queries at times
+        ``t .. t + ttl - 1`` and is dropped by ``expire(t + ttl)`` —
+        exactly the docstring's "expire after ``ttl`` steps".  (An
+        earlier off-by-one let an entry exactly ``ttl`` old survive one
+        extra step, visibly shifting the connectivity curve at small
+        TTLs.)
+        """
         if self.ttl is None:
             return 0
         horizon = now - self.ttl
-        stale = [g for g, e in self._entries.items() if e.installed_at < horizon]
+        oldest = self._oldest
+        if oldest is None or oldest > horizon:
+            return 0
+        stale = [g for g, e in self._entries.items() if e.installed_at <= horizon]
+        if not stale:
+            # The recorded bound was conservative (a drop removed the
+            # oldest entry); tighten it so the next calls short-circuit.
+            self._oldest = min(e.installed_at for e in self._entries.values()) \
+                if self._entries else None
+            return 0
         for gateway in stale:
             del self._entries[gateway]
+        self._oldest = horizon + 1 if self._entries else None
+        self._touch()
         return len(stale)
 
     def entries_by_preference(self) -> List[RouteEntry]:
@@ -119,11 +155,32 @@ class RoutingTable:
 
         Preference mirrors :meth:`RouteEntry.fresher_than`: most recent
         gateway sighting, then fewest hops.
+
+        The ranking is memoized until the table next changes (it sits on
+        the connectivity-walk hot path); treat the returned list as
+        read-only.
         """
-        return sorted(
-            self._entries.values(),
-            key=lambda e: (-e.gateway_seen_at, e.hops, -e.installed_at, e.gateway),
-        )
+        ranked = self._ranked
+        if ranked is None:
+            ranked = sorted(
+                self._entries.values(),
+                key=lambda e: (-e.gateway_seen_at, e.hops, -e.installed_at, e.gateway),
+            )
+            self._ranked = ranked
+        return ranked
+
+    def hops_by_preference(self) -> tuple:
+        """The ``next_hop`` ids of :meth:`entries_by_preference`, memoized.
+
+        This is all a connectivity walk reads of a table, and doubles as
+        the table's *next-hop signature*: two tables with equal tuples
+        route every walk identically.  Memoized until the table changes.
+        """
+        hops = self._hops_ranked
+        if hops is None:
+            hops = tuple(entry.next_hop for entry in self.entries_by_preference())
+            self._hops_ranked = hops
+        return hops
 
     def entry_for(self, gateway: NodeId) -> Optional[RouteEntry]:
         """The current entry toward ``gateway`` (or ``None``)."""
@@ -141,6 +198,8 @@ class RoutingTable:
         """
         self._entries.clear()
         self._sequence_floors.clear()
+        self._oldest = None
+        self._touch()
 
     def drop_routes_via(self, node: NodeId) -> int:
         """Drop entries that lead through or toward a dead ``node``.
@@ -156,6 +215,8 @@ class RoutingTable:
         ]
         for gateway in doomed:
             del self._entries[gateway]
+        if doomed:
+            self._touch()
         return len(doomed)
 
     def drop_routes_via_next_hop(self, node: NodeId) -> int:
@@ -173,6 +234,8 @@ class RoutingTable:
         ]
         for gateway in doomed:
             del self._entries[gateway]
+        if doomed:
+            self._touch()
         return len(doomed)
 
     def corrupt(self, rng, node_ids: List[NodeId]) -> int:
@@ -194,6 +257,8 @@ class RoutingTable:
                 gateway_seen_at=entry.gateway_seen_at,
                 sequence=entry.sequence,
             )
+        if self._entries:
+            self._touch()
         return len(self._entries)
 
 
@@ -221,9 +286,27 @@ class TableBank:
         except IndexError:
             raise RoutingError(f"no table for node {node}") from None
 
+    @property
+    def tables(self) -> List[RoutingTable]:
+        """The per-node tables in id order — a read-only view for scans."""
+        return self._tables
+
     def expire_all(self, now: Time) -> int:
-        """Expire stale entries in every table; returns total dropped."""
-        return sum(table.expire(now) for table in self._tables)
+        """Expire stale entries in every table; returns total dropped.
+
+        Every table shares the bank's TTL, so the per-table staleness
+        bound is checked here and tables with nothing old enough are
+        skipped without the method call (most tables, most steps).
+        """
+        if self.ttl is None:
+            return 0
+        horizon = now - self.ttl
+        dropped = 0
+        for table in self._tables:
+            oldest = table._oldest
+            if oldest is not None and oldest <= horizon:
+                dropped += table.expire(now)
+        return dropped
 
     def invalidate_node(self, node: NodeId) -> int:
         """Graceful degradation after ``node`` crashes.

@@ -35,7 +35,11 @@ from repro.faults.plan import FaultPlan
 from repro.net.channel import ChannelConfig, ChannelModel
 from repro.net.topology import Topology
 from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
-from repro.routing.connectivity import DEFAULT_WALK_TTL, connectivity_fraction
+from repro.routing.connectivity import (
+    DEFAULT_WALK_TTL,
+    ConnectivityCache,
+    connectivity_fraction,
+)
 from repro.core.pheromone import PheromoneField
 from repro.routing.table import RouteEntry, TableBank
 from repro.rng import SeedSpawner
@@ -73,6 +77,12 @@ class RoutingWorldConfig:
     #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
     #: variable (tests switch it on); ``True``/``False`` force it.
     check_invariants: Optional[bool] = None
+    # --- connectivity metric ---------------------------------------------
+    #: serve the per-step metric from the delta-aware
+    #: :class:`~repro.routing.connectivity.ConnectivityCache` (identical
+    #: result, re-walks only what changed); ``False`` re-walks every node
+    #: every step, the reference path.
+    connectivity_cache: bool = True
     # --- observability ---------------------------------------------------
     #: ``None`` (default) records nothing — the zero-overhead path;
     #: an :class:`~repro.obs.collector.ObsConfig` switches layers on.
@@ -183,6 +193,11 @@ class RoutingWorld:
         if check or (check is None and default_invariants_enabled()):
             self.invariants = InvariantChecker(self)
             self.invariants.install()
+        self._conn_cache: Optional[ConnectivityCache] = None
+        if config.connectivity_cache:
+            self._conn_cache = ConnectivityCache(
+                topology, self.tables, config.walk_ttl
+            )
         # Observability is strictly opt-in: with obs unset no collector
         # exists and the hot loop below takes only `is None` branches.
         self._obs: Optional[ObsCollector] = None
@@ -191,6 +206,15 @@ class RoutingWorld:
             self._obs = ObsCollector(config.obs, self.engine, scenario="routing")
             self._profiler = self._obs.profiler
             self._obs_last_losses = 0
+            # Churn/cache counters are cumulative at the source; push
+            # per-step diffs against these snapshots.
+            stats = topology.stats
+            self._obs_last_topo = (
+                stats.edges_added,
+                stats.edges_removed,
+                stats.rebucketed,
+            )
+            self._obs_last_cache = (0, 0, 0)
         self.engine.add_process(self._step)
 
     # ------------------------------------------------------------------
@@ -227,10 +251,6 @@ class RoutingWorld:
     # Dynamics
     # ------------------------------------------------------------------
 
-    def _is_live_gateway(self, node: NodeId) -> bool:
-        """A gateway only seeds tracks while it is up (not crashed)."""
-        return node in self._gateways and not self.topology.is_down(node)
-
     def _active_agents(self) -> List[RoutingAgent]:
         """Agents acting this step (faults may kill or suspend some)."""
         if self.injector is None:
@@ -257,13 +277,14 @@ class RoutingWorld:
         # mid-migration, retries/waits per the reliable-hop protocol.
         decisions: List[Optional[NodeId]] = []
         footprint_due: List[bool] = []
+        adjacency = topology.adjacency_view()
         for agent in agents:
-            neighbors = topology.out_neighbors(agent.location)
+            neighbors = adjacency[agent.location]
             needs_decision, forced = self._migration.resolve_intent(
                 agent, now, neighbors
             )
             if needs_decision:
-                decisions.append(agent.decide(sorted(neighbors), now, field=self.field))
+                decisions.append(agent.decide(neighbors, now, field=self.field))
                 footprint_due.append(True)
             else:
                 # Forced retry keeps the original intent; waiting out a
@@ -281,10 +302,13 @@ class RoutingWorld:
         if profiler is not None:
             phase_started = profiler.lap("meet", phase_started)
         # Phases 3 & 4: move (if the channel delivers) and install routes.
+        live_gateways = {
+            g for g in self._gateways if not topology.is_down(g)
+        }
         moves: List[Tuple[RoutingAgent, NodeId]] = []
         for agent, target, fresh in zip(agents, decisions, footprint_due):
             if target is None:
-                agent.stay(now, here_is_gateway=self._is_live_gateway(agent.location))
+                agent.stay(now, here_is_gateway=agent.location in live_gateways)
             else:
                 if fresh:
                     agent.leave_footprint(target, now, self.field)
@@ -293,11 +317,11 @@ class RoutingWorld:
         for agent, target in moves:
             outcome = self._migration.attempt_hop(agent, target, now)
             if outcome != DELIVERED:
-                agent.stay(now, here_is_gateway=self._is_live_gateway(agent.location))
+                agent.stay(now, here_is_gateway=agent.location in live_gateways)
                 if outcome == ABANDONED:
                     self._suspect_link(agent, target, now)
                 continue
-            came_from = agent.move_to(target, now, self._is_live_gateway(target))
+            came_from = agent.move_to(target, now, target in live_gateways)
             if self._obs is not None:
                 # The routing hot loop has no other agent_moved consumer,
                 # so the fire stays behind the obs guard (zero-cost off).
@@ -326,7 +350,38 @@ class RoutingWorld:
             self._obs.channel_losses(now, losses - self._obs_last_losses)
             self._obs_last_losses = losses
         # Metric.
-        fraction = connectivity_fraction(topology, self.tables, config.walk_ttl)
+        if self._conn_cache is not None:
+            fraction = len(self._conn_cache.connected()) / topology.node_count
+        else:
+            fraction = connectivity_fraction(topology, self.tables, config.walk_ttl)
+        if self._obs is not None:
+            stats = topology.stats
+            last = self._obs_last_topo
+            self._obs.topology_churn(
+                now,
+                added=stats.edges_added - last[0],
+                removed=stats.edges_removed - last[1],
+                rebucketed=stats.rebucketed - last[2],
+            )
+            self._obs_last_topo = (
+                stats.edges_added,
+                stats.edges_removed,
+                stats.rebucketed,
+            )
+            if self._conn_cache is not None:
+                cache_stats = self._conn_cache.stats
+                last_cache = self._obs_last_cache
+                self._obs.connectivity_cache(
+                    now,
+                    hits=cache_stats.hits - last_cache[0],
+                    walks=cache_stats.walks - last_cache[1],
+                    invalidated=cache_stats.invalidated - last_cache[2],
+                )
+                self._obs_last_cache = (
+                    cache_stats.hits,
+                    cache_stats.walks,
+                    cache_stats.invalidated,
+                )
         self.result.times.append(now)
         self.result.connectivity.append(fraction)
         self.engine.hooks.fire("connectivity_recorded", time=now, fraction=fraction)

@@ -14,7 +14,10 @@ layers rely on but none of them owns:
   at an existing node,
 * the link topology never exposes a down node or a blocked edge through
   ``out_neighbors`` — which is exactly the view the connectivity metric
-  walks, so connectivity can never be computed through a down link.
+  walks, so connectivity can never be computed through a down link,
+* the incremental topology engine's indices are sound: the reverse
+  adjacency mirrors the forward one, and (for geometric topologies) the
+  maintained adjacency equals a fresh rebuild-from-scratch computation.
 
 The checker is opt-in per world (``check_invariants`` in the world
 configs, ``--check-invariants`` on the CLI) and on by default under the
@@ -101,6 +104,7 @@ class InvariantChecker:
         self._scan_tables(problems, now, node_ids, down)
         self._scan_footprints(problems, node_ids, down)
         self._scan_topology(problems, node_ids, down)
+        self._scan_engine(problems)
         return problems
 
     def _acting_agents(self) -> List[Any]:
@@ -137,7 +141,7 @@ class InvariantChecker:
                 if entry.hops < 1:
                     problems.append(f"{where}: claims {entry.hops} hops")
                 ttl = tables.ttl
-                if ttl is not None and entry.installed_at < now - ttl:
+                if ttl is not None and entry.installed_at <= now - ttl:
                     problems.append(
                         f"{where}: entry installed at {entry.installed_at} "
                         f"outlived ttl {ttl} at step {now}"
@@ -176,3 +180,16 @@ class InvariantChecker:
                     )
                 if (node, neighbor) in blocked:
                     problems.append(f"blocked link {node}->{neighbor} is exposed")
+
+    def _scan_engine(self, problems: List[str]) -> None:
+        """The incremental topology engine's own consistency report.
+
+        Cross-validates the reverse-adjacency index against the forward
+        adjacency and, for geometric topologies, the maintained
+        adjacency against a fresh naive recompute — so a divergence in
+        the incremental bookkeeping fails the step it happens, not the
+        metric it later corrupts.
+        """
+        checker = getattr(self.world.topology, "consistency_problems", None)
+        if checker is not None:
+            problems.extend(checker())

@@ -83,7 +83,13 @@ class TestTopologyProperties:
             for j, b in enumerate(nodes):
                 if i == j:
                     continue
-                expected = a.position.distance_to(b.position) <= a.current_range()
+                # The engine's documented predicate is dist²(u, v) <=
+                # range(u)² — comparing hypot(dx, dy) <= range instead
+                # disagrees at exact-boundary floats (hypot is correctly
+                # rounded; the squared form is not), so the oracle must
+                # use the squared form too.
+                r = a.current_range()
+                expected = a.position.distance_squared_to(b.position) <= r * r
                 assert topology.has_edge(i, j) == expected
 
     @given(placements())

@@ -1,0 +1,135 @@
+"""Property tests: incremental topology and connectivity-cache equivalence.
+
+The incremental engine's contract is bit-identity with the naive
+rebuild-from-scratch computation — under mobility, crashes, recoveries
+and link blackouts, on both the vectorized and the pure-Python grid
+paths.  These tests drive randomized traces and compare graphs (and the
+delta-aware connectivity result) step by step.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.generator import GeneratorConfig, generate_manet_network
+from repro.routing.connectivity import ConnectivityCache, connected_nodes
+from repro.routing.table import RouteEntry, TableBank
+
+NODES = 24
+GATEWAYS = 3
+
+CONFIG = GeneratorConfig(
+    node_count=NODES,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=GATEWAYS,
+    mobile_fraction=0.5,
+)
+
+
+def build(seed, incremental, vectorized=True):
+    topology = generate_manet_network(seed, CONFIG)
+    if incremental:
+        topology.set_vectorized(vectorized)
+    else:
+        topology.set_incremental(False)
+    return topology
+
+
+def random_fault_ops(rng, step):
+    """A small random batch of fault transitions for one step."""
+    ops = []
+    for __ in range(rng.randrange(3)):
+        kind = rng.randrange(4)
+        node = rng.randrange(NODES)
+        other = rng.randrange(NODES)
+        if kind == 0:
+            ops.append(("down", node))
+        elif kind == 1:
+            ops.append(("up", node))
+        elif kind == 2 and node != other:
+            ops.append(("block", node, other))
+        elif kind == 3 and node != other:
+            ops.append(("unblock", node, other))
+    return ops
+
+
+def apply_ops(topology, ops):
+    for op in ops:
+        if op[0] == "down":
+            topology.set_node_down(op[1])
+        elif op[0] == "up":
+            topology.set_node_up(op[1])
+        elif op[0] == "block":
+            topology.block_edge(op[1], op[2])
+        elif op[0] == "unblock":
+            topology.unblock_edge(op[1], op[2])
+
+
+class TestIncrementalEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_naive_under_mobility_and_faults(self, seed, ops_seed, vectorized):
+        incremental = build(seed, incremental=True, vectorized=vectorized)
+        naive = build(seed, incremental=False)
+        rng = random.Random(ops_seed)
+        for step in range(12):
+            ops = random_fault_ops(rng, step)
+            for topology in (incremental, naive):
+                topology.advance()
+                apply_ops(topology, ops)
+                topology.recompute()
+            assert incremental.edge_set() == naive.edge_set()
+            assert incremental.down_ids == naive.down_ids
+            assert incremental.consistency_problems() == []
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_vector_and_grid_paths_agree(self, seed):
+        vector = build(seed, incremental=True, vectorized=True)
+        grid = build(seed, incremental=True, vectorized=False)
+        for __ in range(10):
+            for topology in (vector, grid):
+                topology.advance()
+                topology.recompute()
+            assert vector.edge_set() == grid.edge_set()
+
+
+class TestConnectivityCacheEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cache_matches_naive_walks_under_crash_recover(self, seed, ops_seed):
+        topology = build(seed, incremental=True)
+        bank = TableBank(NODES)
+        cache = ConnectivityCache(topology, bank, walk_ttl=16)
+        gateways = topology.all_gateway_ids
+        rng = random.Random(ops_seed)
+        for step in range(12):
+            topology.advance()
+            # Crash / recover random nodes (the cache must flush when a
+            # gateway's liveness flips and re-walk affected starts
+            # otherwise).
+            apply_ops(topology, random_fault_ops(rng, step))
+            # Install a couple of random routes — some useful, some
+            # dangling — so walks succeed, fail and change outcome.
+            for __ in range(rng.randrange(4)):
+                node = rng.randrange(NODES)
+                bank.table(node).install(
+                    RouteEntry(
+                        gateway=rng.choice(gateways),
+                        next_hop=rng.randrange(NODES),
+                        hops=1 + rng.randrange(4),
+                        installed_at=step,
+                        gateway_seen_at=step,
+                    )
+                )
+            assert cache.connected() == connected_nodes(topology, bank, walk_ttl=16)

@@ -65,6 +65,46 @@ class TestWalk:
         assert walk_to_gateway(3, topology, bank, walk_ttl=2) is None
         assert walk_to_gateway(3, topology, bank, walk_ttl=3) is not None
 
+    def test_exact_ttl_path_reaches_gateway_on_last_hop(self):
+        # The gateway test happens before each hop AND once after the
+        # final hop, so a path of exactly walk_ttl hops must succeed.
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 3, gateway=0, next_hop=2, hops=3)
+        install(bank, 2, gateway=0, next_hop=1, hops=2)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        assert walk_to_gateway(3, topology, bank, walk_ttl=3) == [3, 2, 1, 0]
+
+    def test_dead_end_mid_path(self):
+        # Node 2 routes into node 1, whose only entry points at a
+        # non-neighbour: the walk strands there, not at the start.
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 2, gateway=0, next_hop=1, hops=2)
+        install(bank, 1, gateway=0, next_hop=3, hops=1)  # 3 not adjacent to 1
+        assert walk_to_gateway(2, topology, bank) is None
+
+    def test_crashed_gateway_fails_walk(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        assert walk_to_gateway(1, topology, bank) == [1, 0]
+        topology.set_node_down(0)
+        # The gateway died mid-run: its in-edges are gone and it no
+        # longer counts as a live terminal.
+        assert walk_to_gateway(1, topology, bank) is None
+        assert connected_nodes(topology, bank) == set()
+
+    def test_crashed_intermediate_node_breaks_chain(self):
+        topology = line_with_gateway()
+        bank = TableBank(4)
+        install(bank, 3, gateway=0, next_hop=2, hops=3)
+        install(bank, 2, gateway=0, next_hop=1, hops=2)
+        install(bank, 1, gateway=0, next_hop=0, hops=1)
+        topology.set_node_down(2)
+        assert walk_to_gateway(3, topology, bank) is None
+        assert walk_to_gateway(1, topology, bank) == [1, 0]
+
     def test_stale_entry_skipped_for_valid_one(self):
         topology = line_with_gateway()
         bank = TableBank(4)

@@ -1,0 +1,141 @@
+"""Unit tests for the delta-aware connectivity cache."""
+
+from repro.net.generator import GeneratorConfig, generate_manet_network
+from repro.net.manual import fixed_topology
+from repro.routing.connectivity import ConnectivityCache, connected_nodes
+from repro.routing.table import RouteEntry, TableBank
+
+
+def install(bank, node, gateway, next_hop, hops=1, installed_at=1, seen_at=0):
+    bank.table(node).install(
+        RouteEntry(
+            gateway=gateway,
+            next_hop=next_hop,
+            hops=hops,
+            installed_at=installed_at,
+            gateway_seen_at=seen_at,
+        )
+    )
+
+
+def line_with_gateway():
+    """0(gw) - 1 - 2 - 3 bidirectional, with a working route chain."""
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        edges.extend([(a, b), (b, a)])
+    topology = fixed_topology(4, edges, gateways=[0])
+    bank = TableBank(4)
+    install(bank, 3, gateway=0, next_hop=2, hops=3)
+    install(bank, 2, gateway=0, next_hop=1, hops=2)
+    install(bank, 1, gateway=0, next_hop=0, hops=1)
+    return topology, bank
+
+
+class TestCacheCorrectness:
+    def test_matches_connected_nodes(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        assert cache.connected() == connected_nodes(topology, bank)
+
+    def test_second_call_hits_cache(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        first = cache.connected()
+        walks = cache.stats.walks
+        second = cache.connected()
+        assert second == first
+        assert cache.stats.walks == walks  # replayed, no fresh walks
+        assert cache.stats.hits > 0
+
+    def test_failures_are_cached_too(self):
+        topology = fixed_topology(3, [(0, 1), (1, 0)], gateways=[0])
+        bank = TableBank(3)  # node 2 has no route and no links
+        cache = ConnectivityCache(topology, bank)
+        cache.connected()
+        walks = cache.stats.walks
+        assert cache.connected() == connected_nodes(topology, bank)
+        assert cache.stats.walks == walks
+
+    def test_removed_hop_edge_invalidates_route(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        assert 3 in cache.connected()
+        topology.block_edge(2, 1)
+        expected = connected_nodes(topology, bank)
+        assert cache.connected() == expected
+        assert 3 not in expected
+        assert cache.stats.invalidated > 0
+
+    def test_route_change_invalidates_visitors(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        cache.connected()
+        # A *better* (fresher sighting) route through a dead pointer at
+        # node 2 breaks the chain for 2 and 3.
+        install(bank, 2, gateway=0, next_hop=3, hops=1, installed_at=9, seen_at=9)
+        expected = connected_nodes(topology, bank)
+        assert cache.connected() == expected
+        assert expected == {0, 1}
+
+    def test_same_signature_reinstall_keeps_cache(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        cache.connected()
+        walks = cache.stats.walks
+        # Refresh node 2's route: same gateway, same next hop, newer
+        # stamp.  The version bumps but the next-hop signature is
+        # unchanged, so no trace may be invalidated.
+        install(bank, 2, gateway=0, next_hop=1, hops=2, installed_at=8)
+        assert bank.table(2).version > 0
+        assert cache.connected() == connected_nodes(topology, bank)
+        assert cache.stats.walks == walks
+        assert cache.stats.invalidated == 0
+
+    def test_gateway_crash_flushes(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        assert cache.connected() == {0, 1, 2, 3}
+        topology.set_node_down(0)
+        expected = connected_nodes(topology, bank)
+        assert cache.connected() == expected
+        assert 0 not in expected
+        assert cache.stats.flushes >= 1
+
+    def test_full_rebuild_flushes(self):
+        topology, bank = line_with_gateway()
+        cache = ConnectivityCache(topology, bank)
+        cache.connected()
+        topology.force_full_rebuild()
+        assert cache.connected() == connected_nodes(topology, bank)
+        assert cache.stats.flushes >= 1
+
+
+class TestCacheUnderMobility:
+    def test_equivalence_over_manet_run(self):
+        config = GeneratorConfig(
+            node_count=30,
+            target_edges=None,
+            range_heterogeneity=0.25,
+            require_strong_connectivity=False,
+            gateway_count=3,
+            mobile_fraction=0.5,
+        )
+        topology = generate_manet_network(31, config)
+        bank = TableBank(30)
+        cache = ConnectivityCache(topology, bank, walk_ttl=16)
+        gateways = topology.all_gateway_ids
+        for step in range(30):
+            topology.advance()
+            # Churn some routes toward real gateways each step.
+            node = step % 30
+            install(
+                bank,
+                node,
+                gateway=gateways[step % len(gateways)],
+                next_hop=(node + 1) % 30,
+                hops=1 + step % 4,
+                installed_at=step,
+                seen_at=step,
+            )
+            assert cache.connected() == connected_nodes(topology, bank, walk_ttl=16)
+        assert cache.stats.hits > 0  # the cache actually did something

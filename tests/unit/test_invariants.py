@@ -126,8 +126,11 @@ class TestPlantedViolations:
         )
         checker = InvariantChecker(world, raise_on_violation=False)
         ttl = world.tables.ttl
-        assert checker.check_now(now=ttl) == []
-        assert any("outlived ttl" in p for p in checker.check_now(now=ttl + 1))
+        # An entry installed at t is valid through t + ttl - 1 and is
+        # due for expiry at exactly t + ttl — the checker flags it from
+        # that step on (matching RoutingTable.expire's boundary).
+        assert checker.check_now(now=ttl - 1) == []
+        assert any("outlived ttl" in p for p in checker.check_now(now=ttl))
 
     def test_route_entry_with_zero_hops(self, gateway_line4):
         world = self._world(gateway_line4)

@@ -54,6 +54,41 @@ class TestRandomVelocity:
             math.hypot(before.x, before.y)
         )
 
+    def test_fast_node_reflects_multiple_times_per_step(self):
+        # Regression: a speed larger than the arena dimension overshoots
+        # past the far wall; one reflection per axis left the position
+        # outside the arena and clamping then pinned the node to a wall.
+        arena = Arena(10, 10)
+        for seed in range(25):
+            model = RandomVelocity(random.Random(seed), 35.0, 35.0)
+            position = Point(5, 5)
+            for __ in range(50):
+                position = model.move(position, arena)
+                assert arena.contains(position)
+
+    def test_fast_node_does_not_pin_to_wall(self):
+        arena = Arena(10, 10)
+        model = RandomVelocity(random.Random(7), 27.0, 27.0)
+        position = Point(5, 5)
+        positions = set()
+        for __ in range(40):
+            position = model.move(position, arena)
+            positions.add((position.x, position.y))
+        # A pinned node repeats one wall point; a healthy one keeps
+        # ricocheting through distinct interior points.
+        assert len(positions) > 10
+        assert any(0.0 < x < 10.0 and 0.0 < y < 10.0 for x, y in positions)
+
+    def test_exact_multiple_overshoot_terminates(self):
+        # dx exactly 2*width bounces back to the start point in finite
+        # reflections (guards the loop's termination reasoning).
+        arena = Arena(10, 10)
+        model = RandomVelocity(random.Random(1), 0.0, 0.0)
+        model._vx, model._vy = 20.0, 0.0
+        moved = model.move(Point(5, 5), arena)
+        assert arena.contains(moved)
+        assert moved.x == pytest.approx(5.0)
+
     def test_invalid_speeds(self):
         with pytest.raises(ConfigurationError):
             RandomVelocity(random.Random(1), -1.0, 2.0)

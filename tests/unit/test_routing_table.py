@@ -77,6 +77,43 @@ class TestRoutingTable:
         assert table.expire(now=16) == 1
         assert len(table) == 0
 
+    def test_expire_exact_boundary(self):
+        # An entry installed at t survives t .. t+ttl-1 and is dropped
+        # by expire(t+ttl) exactly — the old `<` comparison let it live
+        # one extra step.
+        table = RoutingTable(ttl=5)
+        table.install(entry(installed_at=10))
+        assert table.expire(now=14) == 0
+        assert len(table) == 1
+        assert table.expire(now=15) == 1
+        assert len(table) == 0
+
+    def test_version_bumps_on_content_changes_only(self):
+        table = RoutingTable(ttl=5)
+        v0 = table.version
+        table.install(entry(installed_at=10, seen_at=10))
+        v1 = table.version
+        assert v1 > v0
+        # A rejected (staler) install changes nothing — version holds.
+        assert not table.install(entry(installed_at=11, seen_at=3, hops=9))
+        assert table.version == v1
+        # A no-op expire holds; a dropping expire bumps.
+        assert table.expire(now=12) == 0
+        assert table.version == v1
+        assert table.expire(now=15) == 1
+        assert table.version > v1
+
+    def test_ranking_memoized_until_change(self):
+        table = RoutingTable()
+        table.install(entry(gateway=8, seen_at=5))
+        table.install(entry(gateway=9, seen_at=9))
+        first = table.entries_by_preference()
+        assert table.entries_by_preference() is first  # cached object
+        table.install(entry(gateway=7, seen_at=7))
+        second = table.entries_by_preference()
+        assert second is not first
+        assert [e.gateway for e in second] == [9, 7, 8]
+
     def test_no_ttl_never_expires(self):
         table = RoutingTable(ttl=None)
         table.install(entry(installed_at=0))

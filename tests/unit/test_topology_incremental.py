@@ -1,0 +1,183 @@
+"""Unit tests for the incremental topology engine.
+
+Every test that exercises the maintained adjacency is parametrized over
+both implementations — the vectorized (numpy mask-diff) path and the
+pure-Python spatial-grid path — and checks the result against a naive
+rebuild-from-scratch of the same network.
+"""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.generator import GeneratorConfig, generate_manet_network
+from repro.net.geometry import Arena, Point
+from repro.net.manual import fixed_topology
+from repro.net.node import Node
+from repro.net.radio import FixedRange, HeterogeneousRange
+from repro.net.topology import Topology
+
+SMALL_MANET = GeneratorConfig(
+    node_count=40,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=4,
+    mobile_fraction=0.5,
+)
+
+
+def manet(seed, vectorized):
+    topology = generate_manet_network(seed, SMALL_MANET)
+    topology.set_vectorized(vectorized)
+    return topology
+
+
+def naive_twin(seed):
+    """The same network driven by rebuild-from-scratch recomputes."""
+    topology = generate_manet_network(seed, SMALL_MANET)
+    topology.set_incremental(False)
+    return topology
+
+
+def assert_same_graph(incremental, naive):
+    assert incremental.edge_set() == naive.edge_set()
+    assert incremental.consistency_problems() == []
+
+
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vector", "grid"])
+class TestIncrementalMatchesNaive:
+    def test_mobility_steps(self, vectorized):
+        topology, twin = manet(11, vectorized), naive_twin(11)
+        for __ in range(25):
+            topology.advance()
+            twin.advance()
+            topology.recompute()
+            twin.recompute()
+            assert_same_graph(topology, twin)
+
+    def test_crash_and_recover(self, vectorized):
+        topology, twin = manet(12, vectorized), naive_twin(12)
+        for step in range(20):
+            for t in (topology, twin):
+                t.advance()
+                if step == 4:
+                    t.set_node_down(3)
+                if step == 7:
+                    t.set_node_down(9)
+                if step == 12:
+                    t.set_node_up(3)
+                if step == 16:
+                    t.set_node_up(9)
+                t.recompute()
+            assert_same_graph(topology, twin)
+        assert not topology.is_down(3) and not topology.is_down(9)
+
+    def test_blocked_edges(self, vectorized):
+        topology, twin = manet(13, vectorized), naive_twin(13)
+        topology.recompute()
+        edges = sorted(topology.edge_set())[:6]
+        for step in range(15):
+            for t in (topology, twin):
+                t.advance()
+                if step == 2:
+                    for edge in edges:
+                        t.block_edge(*edge)
+                if step == 9:
+                    for edge in edges[::2]:
+                        t.unblock_edge(*edge)
+                t.recompute()
+            assert_same_graph(topology, twin)
+
+    def test_down_node_has_no_edges(self, vectorized):
+        topology = manet(14, vectorized)
+        topology.recompute()
+        topology.set_node_down(5)
+        topology.recompute()
+        assert topology.out_neighbors(5) == set()
+        assert topology.in_neighbors(5) == set()
+        assert topology.consistency_problems() == []
+
+    def test_force_full_rebuild_resets_state(self, vectorized):
+        topology = manet(15, vectorized)
+        for __ in range(5):
+            topology.advance()
+            topology.recompute()
+        topology.force_full_rebuild()
+        topology.advance()
+        topology.recompute()
+        assert topology.consistency_problems() == []
+
+
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vector", "grid"])
+class TestEdgeDeltaStream:
+    def test_first_take_reports_full(self, vectorized):
+        topology = manet(21, vectorized)
+        delta = topology.take_edge_delta()
+        assert delta.full
+
+    def test_deltas_replay_to_current_edge_set(self, vectorized):
+        topology = manet(22, vectorized)
+        topology.take_edge_delta()
+        edges = set(topology.edge_set())
+        for __ in range(20):
+            topology.advance()
+            delta = topology.take_edge_delta()
+            assert not delta.full
+            edges.difference_update(delta.removed)
+            edges.update(delta.added)
+            assert edges == topology.edge_set()
+
+    def test_delta_is_consumed_once(self, vectorized):
+        topology = manet(23, vectorized)
+        topology.take_edge_delta()
+        topology.advance()
+        first = topology.take_edge_delta()
+        assert first.added or first.removed  # mobility moved something
+        second = topology.take_edge_delta()
+        assert not second.full
+        assert not second.added and not second.removed
+
+    def test_full_rebuild_marks_delta_full(self, vectorized):
+        topology = manet(24, vectorized)
+        topology.take_edge_delta()
+        topology.force_full_rebuild()
+        assert topology.take_edge_delta().full
+
+
+class TestValidationConsistency:
+    def test_has_edge_unknown_source_raises(self):
+        topology = fixed_topology(3, [(0, 1)])
+        with pytest.raises(TopologyError):
+            topology.has_edge(99, 0)
+
+    def test_has_edge_unknown_destination_raises(self):
+        topology = fixed_topology(3, [(0, 1)])
+        with pytest.raises(TopologyError):
+            topology.has_edge(0, 99)
+
+    def test_fault_ops_unknown_node_raise(self):
+        topology = fixed_topology(3, [(0, 1)])
+        with pytest.raises(TopologyError):
+            topology.set_node_down(99)
+        with pytest.raises(TopologyError):
+            topology.block_edge(0, 99)
+
+
+class TestGridRebucketing:
+    def test_node_crossing_cells_tracks_edges(self):
+        # One fast mover sweeps past a line of anchored nodes; the grid
+        # must re-bucket it and edges must appear/disappear on cue.
+        arena = Arena(200, 50)
+        nodes = [Node(i, Point(20 + 60 * i, 25), FixedRange(25.0)) for i in range(3)]
+        mover = Node(3, Point(0, 25), HeterogeneousRange(25.0))
+        topology = Topology(nodes + [mover], arena)
+        topology.set_vectorized(False)
+        topology.recompute()
+        seen = set()
+        for step in range(20):
+            mover.position = Point(10.0 * step, 25)
+            topology.invalidate()
+            topology.recompute()
+            assert topology.consistency_problems() == []
+            seen.update(topology.out_neighbors(3))
+        assert seen == {0, 1, 2}
