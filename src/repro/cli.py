@@ -97,6 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--traffic",
+        metavar="SPEC",
+        help=(
+            "attach a payload workload to every variant: a bare arrival "
+            "rate ('0.5') or 'rate=0.5,router=epidemic,cap=16,ttl=60,"
+            "policy=drop-oldest' (see repro.traffic.plane.parse_traffic_spec)"
+        ),
+    )
+    run.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-node payload queue capacity (implies --traffic defaults)",
+    )
+    run.add_argument(
+        "--payload-ttl",
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="steps before an undelivered payload expires (implies --traffic)",
+    )
+    run.add_argument(
+        "--router",
+        choices=("store-and-forward", "epidemic", "spray-and-wait"),
+        default=None,
+        help="data-plane router for the payload workload (implies --traffic)",
+    )
+    run.add_argument(
         "--hop-retries",
         type=int,
         default=None,
@@ -212,6 +241,25 @@ def _command_run(args: argparse.Namespace) -> int:
         if args.hop_retries is not None:
             channel = dataclasses.replace(channel, hop_retries=args.hop_retries)
         runner.set_default_channel(channel)
+    if (
+        args.traffic
+        or args.queue_cap is not None
+        or args.payload_ttl is not None
+        or args.router is not None
+    ):
+        from repro.traffic.plane import TrafficConfig, parse_traffic_spec
+
+        traffic = parse_traffic_spec(args.traffic) if args.traffic else TrafficConfig()
+        overrides = {}
+        if args.queue_cap is not None:
+            overrides["queue_capacity"] = args.queue_cap
+        if args.payload_ttl is not None:
+            overrides["payload_ttl"] = args.payload_ttl
+        if args.router is not None:
+            overrides["router"] = args.router
+        if overrides:
+            traffic = dataclasses.replace(traffic, **overrides)
+        runner.set_default_traffic(traffic)
     if args.route_ttl is not None:
         runner.set_default_route_ttl(args.route_ttl)
     if args.check_invariants:
@@ -276,6 +324,10 @@ def _command_run(args: argparse.Namespace) -> int:
                 "loss": args.loss,
                 "hop_retries": args.hop_retries,
                 "route_ttl": args.route_ttl,
+                "traffic": args.traffic,
+                "queue_cap": args.queue_cap,
+                "payload_ttl": args.payload_ttl,
+                "router": args.router,
                 "check_invariants": args.check_invariants,
             },
         )

@@ -27,6 +27,7 @@ from repro.faults.metrics import ResilienceReport
 from repro.mapping.world import MappingResult
 from repro.obs.collector import ObsReport
 from repro.routing.world import RoutingResult
+from repro.traffic.plane import TrafficReport
 
 __all__ = [
     "report_to_dict",
@@ -144,6 +145,10 @@ def _obs_to_dict(report: Optional[ObsReport]) -> Optional[dict]:
     return report.to_dict() if report is not None else None
 
 
+def _traffic_to_dict(report: Optional[TrafficReport]) -> Optional[dict]:
+    return report.to_dict() if report is not None else None
+
+
 def mapping_result_to_dict(result: MappingResult) -> dict:
     """The JSON-safe form of one mapping run's outcome."""
     return {
@@ -156,6 +161,7 @@ def mapping_result_to_dict(result: MappingResult) -> dict:
         "overhead": dict(result.overhead),
         "resilience": _resilience_to_dict(result.resilience),
         "obs": _obs_to_dict(result.obs),
+        "traffic": _traffic_to_dict(result.traffic),
     }
 
 
@@ -171,6 +177,7 @@ def mapping_result_from_dict(payload: dict) -> MappingResult:
         overhead={k: float(v) for k, v in payload["overhead"].items()},
         resilience=_resilience_from_dict(payload.get("resilience")),
         obs=ObsReport.from_dict(payload.get("obs")),
+        traffic=TrafficReport.from_dict(payload.get("traffic")),
     )
 
 
@@ -184,6 +191,7 @@ def routing_result_to_dict(result: RoutingResult) -> dict:
         "overhead": dict(result.overhead),
         "resilience": _resilience_to_dict(result.resilience),
         "obs": _obs_to_dict(result.obs),
+        "traffic": _traffic_to_dict(result.traffic),
     }
 
 
@@ -197,6 +205,7 @@ def routing_result_from_dict(payload: dict) -> RoutingResult:
         overhead={k: float(v) for k, v in payload["overhead"].items()},
         resilience=_resilience_from_dict(payload.get("resilience")),
         obs=ObsReport.from_dict(payload.get("obs")),
+        traffic=TrafficReport.from_dict(payload.get("traffic")),
     )
 
 

@@ -10,6 +10,7 @@ from repro.experiments import (
     loss_experiments,
     mapping_experiments,
     routing_experiments,
+    traffic_experiments,
 )
 from repro.experiments.config import DEFAULT_MASTER_SEED, Scale
 from repro.experiments.report import ExperimentReport
@@ -76,6 +77,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                "routing", routing_experiments.faults1),
         _entry("loss1", "lossy channels: connectivity and map completion vs loss rate",
                "routing", loss_experiments.loss1),
+        _entry("traffic1", "payload delivery vs loss: custody store-and-forward "
+               "vs epidemic vs spray-and-wait", "routing", traffic_experiments.traffic1),
         _entry("abl1", "ablation: footprint freshness window", "mapping",
                mapping_experiments.abl1),
         _entry("abl2", "ablation: symmetric vs directed environment", "mapping",

@@ -65,6 +65,7 @@ from repro.obs.collector import ObsConfig
 from repro.obs.output import ObsAccumulator
 from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
 from repro.rng import derive_seed
+from repro.traffic.plane import TrafficConfig
 
 __all__ = [
     "MappingVariantResult",
@@ -79,6 +80,7 @@ __all__ = [
     "set_default_check_invariants",
     "set_default_checkpoint_dir",
     "set_default_obs",
+    "set_default_traffic",
     "set_task_limits",
 ]
 
@@ -208,6 +210,11 @@ _default_task_retries = 1
 _default_obs: Optional[ObsConfig] = None
 _obs_accumulator: Optional[ObsAccumulator] = None
 
+#: traffic config applied to every variant that has none of its own —
+#: set by the CLI's ``--traffic``/``--queue-cap``/``--payload-ttl``/
+#: ``--router`` flags via :func:`set_default_traffic`.
+_default_traffic: Optional[TrafficConfig] = None
+
 
 def set_default_workers(workers: int) -> None:
     """Set the pool size used by runs that do not pass ``workers``."""
@@ -273,6 +280,16 @@ def set_default_obs(
     _obs_accumulator = accumulator
 
 
+def set_default_traffic(traffic: Optional[TrafficConfig]) -> None:
+    """Set the traffic config injected into variants that carry none.
+
+    The CLI's ``--traffic`` flag routes through here so every registry
+    experiment can move payloads over its routing state.
+    """
+    global _default_traffic
+    _default_traffic = traffic
+
+
 def set_task_limits(
     timeout: Optional[float] = None, retries: Optional[int] = None
 ) -> None:
@@ -334,6 +351,11 @@ def _with_run_defaults(variants: Dict[str, Any]) -> Dict[str, Any]:
             changes["route_ttl"] = _default_route_ttl
         if _default_obs is not None and config.obs is None:
             changes["obs"] = _default_obs
+        if (
+            _default_traffic is not None
+            and getattr(config, "traffic", None) is None
+        ):
+            changes["traffic"] = _default_traffic
         adjusted[name] = dataclasses.replace(config, **changes) if changes else config
     return adjusted
 

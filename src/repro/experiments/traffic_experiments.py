@@ -1,0 +1,149 @@
+"""Traffic experiments: end-to-end payload delivery over agent routing.
+
+The paper's tables exist so "an average packet will use a multi-hop path
+to reach one of those gateways" — ``traffic1`` finally measures that.
+The same seeded MANET and oldest-node agent team run under a sweep of
+channel loss rates while the data plane generates Poisson payload
+arrivals and the three routers (custody store-and-forward over the
+agent-built tables, epidemic, binary spray-and-wait) move them toward
+the gateways.  Every world runs with ``check_invariants`` forced on, so
+a completed sweep certifies the payload-conservation ledger balanced
+after every single step of every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.series import TimeSeries
+from repro.analysis.stats import summarize
+from repro.experiments.config import DEFAULT_MASTER_SEED, Scale
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import ProgressCallback, run_routing_variants
+from repro.net.channel import ChannelConfig
+from repro.routing.world import RoutingWorldConfig
+from repro.traffic.plane import TrafficConfig
+from repro.traffic.routers import ROUTERS
+
+__all__ = ["traffic1", "TRAFFIC_LOSS_RATES"]
+
+#: Per-attempt loss rates swept by ``traffic1`` (0 anchors the baseline).
+TRAFFIC_LOSS_RATES = (0.0, 0.1, 0.2, 0.35, 0.5)
+
+
+def _label(router: str, rate: float) -> str:
+    return f"{router}@loss={rate:g}"
+
+
+def traffic1(
+    scale: Scale,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentReport:
+    """Payload delivery ratio and latency vs channel loss, per router.
+
+    One routing variant per (router, loss rate) pair on the identical
+    seeded MANET, each with a Poisson payload workload.  The store-and-
+    forward router rides the routing tables the agents build; epidemic
+    and spray-and-wait replicate over raw encounters as baselines.
+    """
+    traffic_for = {
+        router: TrafficConfig(rate=0.5, payload_ttl=scale.routing_steps, router=router)
+        for router in ROUTERS
+    }
+    variants: Dict[str, RoutingWorldConfig] = {
+        _label(router, rate): RoutingWorldConfig(
+            population=scale.routing_population,
+            history_size=scale.default_history,
+            total_steps=scale.routing_steps,
+            converged_after=scale.routing_converged_after,
+            channel=ChannelConfig(loss=rate),
+            check_invariants=True,
+            traffic=traffic_for[router],
+        )
+        for router in ROUTERS
+        for rate in TRAFFIC_LOSS_RATES
+    }
+    outcomes = run_routing_variants(
+        scale.routing_generator_config(),
+        variants,
+        scale.runs,
+        master_seed,
+        progress,
+    )
+    report = ExperimentReport(
+        experiment_id="traffic1",
+        title="payload delivery vs channel loss (store-and-forward data plane)",
+        paper_claim=(
+            "(beyond the paper: \"an average packet will use a multi-hop path "
+            "to reach one of those gateways\" — with bounded queues, custody "
+            "transfer and retransmission, delivery should degrade gracefully "
+            "as loss rises, never collapse, and payloads must be conserved "
+            "exactly through fault churn)"
+        ),
+        columns=[
+            "router",
+            "loss rate",
+            "delivery ratio",
+            "mean latency",
+            "retransmissions",
+            "queue drops",
+            "expired",
+        ],
+        y_label="delivery ratio",
+    )
+    monotone_notes: List[str] = []
+    for router in ROUTERS:
+        summaries = []
+        curve_values: List[float] = []
+        for rate in TRAFFIC_LOSS_RATES:
+            results = outcomes[_label(router, rate)].results
+            traffic = [r.traffic for r in results]
+            ratio = summarize([t.delivery_ratio for t in traffic])
+            summaries.append(ratio)
+            curve_values.append(ratio.mean)
+            report.add_row(
+                router,
+                f"{rate:g}",
+                ratio.format(digits=3),
+                f"{summarize([t.mean_latency for t in traffic]).mean:.1f}",
+                sum(t.counters.get("retransmissions", 0) for t in traffic),
+                sum(
+                    t.counters.get("overflow_drops", 0)
+                    + t.counters.get("source_drops", 0)
+                    for t in traffic
+                ),
+                sum(t.expired for t in traffic),
+            )
+        report.series[router] = TimeSeries(
+            [int(rate * 100) for rate in TRAFFIC_LOSS_RATES], curve_values
+        )
+        # Monotone up to sampling noise: a later rate may sit above an
+        # earlier one by at most the pair's combined 95% CI half-widths
+        # (the same ± the table prints).
+        def _half(summary) -> float:
+            low, high = summary.ci95
+            return (high - low) / 2.0
+
+        monotone = all(
+            later.mean <= earlier.mean + _half(earlier) + _half(later) + 1e-9
+            for earlier, later in zip(summaries, summaries[1:])
+        )
+        monotone_notes.append(
+            f"{router}: delivery ratio degrades monotonically with loss "
+            "(within the pair's combined 95% CI half-widths): "
+            + ("yes" if monotone else "NO — check retry/queue settings")
+        )
+    for note in monotone_notes:
+        report.add_note(note)
+    report.add_note(
+        "series x-axis is the loss rate in percent; values are mean "
+        "delivery ratios across runs"
+    )
+    report.add_note(
+        "invariant checker was active in every world (payload conservation "
+        "generated == delivered + expired + dropped + in-flight + buffered "
+        "checked after every step); a violation aborts its run, so completed "
+        "sweeps certify zero violations"
+    )
+    return report

@@ -22,6 +22,7 @@ the live topology).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,6 +44,7 @@ from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
 from repro.rng import SeedSpawner
 from repro.sim.engine import StopSimulation, TimeStepEngine
 from repro.sim.invariants import InvariantChecker, default_invariants_enabled
+from repro.traffic.plane import TrafficConfig, TrafficPlane, TrafficReport
 from repro.types import NodeId, Time
 
 __all__ = ["MappingWorldConfig", "MappingResult", "MappingWorld"]
@@ -77,6 +79,11 @@ class MappingWorldConfig:
     #: ``None`` (default) records nothing — the zero-overhead path;
     #: an :class:`~repro.obs.collector.ObsConfig` switches layers on.
     obs: Optional[ObsConfig] = None
+    #: ``None`` (default) moves no payloads; a
+    #: :class:`~repro.traffic.plane.TrafficConfig` builds the data plane
+    #: (unicast destinations — the mapping world has no gateways, so the
+    #: replication routers apply, not ``store-and-forward``).
+    traffic: Optional[TrafficConfig] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -104,6 +111,7 @@ class MappingResult:
     overhead: Dict[str, float] = field(default_factory=dict)
     resilience: Optional[ResilienceReport] = None
     obs: Optional[ObsReport] = None
+    traffic: Optional[TrafficReport] = None
 
     @property
     def finished(self) -> bool:
@@ -166,6 +174,26 @@ class MappingWorld:
                 stats.rebucketed,
             )
         self.engine.add_process(self._step)
+        # The data plane runs after the world step; with traffic unset
+        # nothing is built — the zero-overhead path.
+        self.traffic: Optional[TrafficPlane] = None
+        if config.traffic is not None:
+            traffic_config = config.traffic
+            if traffic_config.router == "store-and-forward":
+                # The mapping scenario has no routing tables for custody
+                # forwarding to ride; degrade to the table-less epidemic
+                # router instead of refusing the workload outright.
+                traffic_config = dataclasses.replace(traffic_config, router="epidemic")
+            self.traffic = TrafficPlane(
+                topology,
+                traffic_config,
+                self._spawner.child("traffic"),
+                channel=self.channel,
+                tables=None,
+                obs=self._obs,
+                unicast=True,
+            )
+            self.traffic.install(self.engine)
         if config.degrade_at is not None:
             self.engine.schedule_at(
                 config.degrade_at, self._apply_degradation, label="degrade-links"
@@ -336,6 +364,11 @@ class MappingWorld:
         if self.resilience is not None and self.injector is not None:
             agents_total, agents_alive = self.injector.resilience_counts()
             resilience = self.resilience.report(agents_total, agents_alive)
+        traffic_report = None
+        if self.traffic is not None:
+            traffic_report = self.traffic.report()
+            if self._obs is not None:
+                self._obs.traffic_totals(traffic_report)
         obs_report = None
         if self._obs is not None:
             obs_report = self._obs.finalize(
@@ -355,6 +388,7 @@ class MappingWorld:
             overhead=team_overhead.per_decision(),
             resilience=resilience,
             obs=obs_report,
+            traffic=traffic_report,
         )
 
 

@@ -220,6 +220,55 @@ class ObsCollector:
         if self._bus is not None:
             self._bus.emit(time, "channel_loss", count=count)
 
+    def traffic_step(
+        self,
+        time: Time,
+        generated: int,
+        delivered: int,
+        buffered: int,
+        in_flight: int,
+    ) -> None:
+        """Record the data plane's per-step queue-occupancy levels."""
+        if self.metrics is not None:
+            self.metrics.ring(
+                "traffic.buffered.series", self.config.ring_capacity
+            )
+            self.metrics.ring_record("traffic.buffered.series", time, buffered)
+        if self._bus is not None:
+            self._bus.emit(
+                time,
+                "traffic",
+                generated=generated,
+                delivered=delivered,
+                buffered=buffered,
+                in_flight=in_flight,
+            )
+
+    def traffic_totals(self, report: Any) -> None:
+        """Fold a run's final :class:`~repro.traffic.plane.TrafficReport`.
+
+        Called once before :meth:`finalize` when the world ran a data
+        plane; everything lands under ``traffic.*`` counters so the
+        merged experiment view carries delivery/latency/backpressure
+        numbers alongside overhead and channel stats.
+        """
+        if self.metrics is None:
+            return
+        registry = self.metrics
+        registry.inc("traffic.generated", report.generated)
+        registry.inc("traffic.delivered", report.delivered)
+        registry.inc("traffic.expired", report.expired)
+        registry.inc("traffic.dropped", report.dropped)
+        registry.inc("traffic.in_flight", report.in_flight)
+        registry.inc("traffic.buffered", report.buffered)
+        for bound, count in zip(report.latency_bounds, report.latency_counts):
+            registry.inc(f"traffic.latency.le_{bound}", count)
+        registry.inc("traffic.latency.overflow", report.latency_counts[-1])
+        for name, value in sorted(report.counters.items()):
+            registry.inc(f"traffic.{name}", value)
+        for name, value in sorted(report.queues.items()):
+            registry.inc(f"traffic.queue.{name}", value)
+
     def topology_churn(
         self, time: Time, added: int, removed: int, rebucketed: int
     ) -> None:

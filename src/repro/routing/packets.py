@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.net.graphutils import bfs_hops
 from repro.net.topology import Topology
+from repro.rng import derive_seed
 from repro.routing.connectivity import DEFAULT_WALK_TTL
 from repro.routing.table import TableBank
 from repro.types import NodeId
@@ -97,13 +98,22 @@ class PacketSimulator:
                 return entry.next_hop
         return None
 
-    def send_batch(self, count: int, rng: random.Random) -> DeliveryStats:
-        """Send ``count`` packets from uniformly random non-gateway sources."""
-        sources = [
+    def send_batch(self, count: int, rng: Union[int, random.Random]) -> DeliveryStats:
+        """Send ``count`` packets from uniformly random non-gateway sources.
+
+        ``rng`` is either an explicit :class:`random.Random` or an int
+        seed, which is expanded through :func:`repro.rng.derive_seed`
+        into a dedicated stream — so the same seed always produces the
+        same source sequence regardless of what else has drawn from any
+        shared generator.
+        """
+        if isinstance(rng, int):
+            rng = random.Random(derive_seed(rng, "packets:batch"))
+        sources = sorted(
             node_id
             for node_id in self.topology.node_ids
             if not self.topology.node(node_id).is_gateway
-        ]
+        )
         stats = DeliveryStats()
         for __ in range(count):
             stats.outcomes.append(self.send(rng.choice(sources)))

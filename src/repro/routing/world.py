@@ -45,6 +45,7 @@ from repro.routing.table import RouteEntry, TableBank
 from repro.rng import SeedSpawner
 from repro.sim.engine import TimeStepEngine
 from repro.sim.invariants import InvariantChecker, default_invariants_enabled
+from repro.traffic.plane import TrafficConfig, TrafficPlane, TrafficReport
 from repro.types import NodeId, Time
 
 __all__ = ["RoutingWorldConfig", "RoutingResult", "RoutingWorld", "run_routing"]
@@ -87,6 +88,11 @@ class RoutingWorldConfig:
     #: ``None`` (default) records nothing — the zero-overhead path;
     #: an :class:`~repro.obs.collector.ObsConfig` switches layers on.
     obs: Optional[ObsConfig] = None
+    # --- data plane ------------------------------------------------------
+    #: ``None`` (default) moves no payloads — bit-identical to a run
+    #: without the traffic subsystem; a
+    #: :class:`~repro.traffic.plane.TrafficConfig` builds the plane.
+    traffic: Optional[TrafficConfig] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -115,6 +121,7 @@ class RoutingResult:
     overhead: Dict[str, float] = field(default_factory=dict)
     resilience: Optional[ResilienceReport] = None
     obs: Optional[ObsReport] = None
+    traffic: Optional[TrafficReport] = None
 
     @property
     def mean_connectivity(self) -> float:
@@ -216,6 +223,20 @@ class RoutingWorld:
             )
             self._obs_last_cache = (0, 0, 0)
         self.engine.add_process(self._step)
+        # The data plane runs as its own process *after* the world step,
+        # so payloads move over the tables the agents just wrote.  With
+        # traffic unset nothing is built — the zero-overhead path.
+        self.traffic: Optional[TrafficPlane] = None
+        if config.traffic is not None:
+            self.traffic = TrafficPlane(
+                topology,
+                config.traffic,
+                self._spawner.child("traffic"),
+                channel=self.channel,
+                tables=self.tables,
+                obs=self._obs,
+            )
+            self.traffic.install(self.engine)
 
     # ------------------------------------------------------------------
     # Construction
@@ -420,6 +441,10 @@ class RoutingWorld:
         if self.resilience is not None and self.injector is not None:
             agents_total, agents_alive = self.injector.resilience_counts()
             self.result.resilience = self.resilience.report(agents_total, agents_alive)
+        if self.traffic is not None:
+            self.result.traffic = self.traffic.report()
+            if self._obs is not None:
+                self._obs.traffic_totals(self.result.traffic)
         if self._obs is not None:
             self.result.obs = self._obs.finalize(
                 overhead=team_overhead,

@@ -17,7 +17,10 @@ layers rely on but none of them owns:
   walks, so connectivity can never be computed through a down link,
 * the incremental topology engine's indices are sound: the reverse
   adjacency mirrors the forward one, and (for geometric topologies) the
-  maintained adjacency equals a fresh rebuild-from-scratch computation.
+  maintained adjacency equals a fresh rebuild-from-scratch computation,
+* the traffic plane conserves payloads exactly: ``generated ==
+  delivered + expired + dropped + alive``, the ledger's copy counts
+  match the buffers' physical contents, and no queue exceeds capacity.
 
 The checker is opt-in per world (``check_invariants`` in the world
 configs, ``--check-invariants`` on the CLI) and on by default under the
@@ -104,6 +107,7 @@ class InvariantChecker:
         self._scan_tables(problems, now, node_ids, down)
         self._scan_footprints(problems, node_ids, down)
         self._scan_topology(problems, node_ids, down)
+        self._scan_traffic(problems)
         self._scan_engine(problems)
         return problems
 
@@ -180,6 +184,20 @@ class InvariantChecker:
                     )
                 if (node, neighbor) in blocked:
                     problems.append(f"blocked link {node}->{neighbor} is exposed")
+
+    def _scan_traffic(self, problems: List[str]) -> None:
+        """The data plane's payload-conservation contract.
+
+        Delegates to :meth:`~repro.traffic.plane.TrafficPlane.
+        consistency_problems`, which recomputes, from first principles,
+        that ``generated == delivered + expired + dropped + alive``,
+        that the ledger's per-payload copy counts match what the buffers
+        physically hold, and that no buffer exceeds its capacity.
+        """
+        plane = getattr(self.world, "traffic", None)
+        if plane is None:
+            return
+        problems.extend(plane.consistency_problems())
 
     def _scan_engine(self, problems: List[str]) -> None:
         """The incremental topology engine's own consistency report.

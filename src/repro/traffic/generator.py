@@ -1,0 +1,155 @@
+"""Seeded payload workload generation (Poisson / burst / CBR).
+
+The generator is the data plane's only source of randomness besides the
+channel, and it follows the repo's seeding discipline: it owns a single
+named :mod:`repro.rng` stream, so adding traffic to a world never
+perturbs placement, mobility, or agent streams, and the same seed always
+produces the same workload.
+
+Three arrival profiles cover the usual workload shapes:
+
+* ``poisson`` — independent per-step arrivals, ``rate`` expected
+  payloads per step (drawn via inverse-CDF sampling of the Poisson
+  distribution, bounded for sanity),
+* ``burst`` — ``burst_size`` payloads every ``burst_every`` steps, an
+  on/off workload that stresses queue capacity,
+* ``cbr`` — constant bit rate: a payload every ``1/rate`` steps
+  (accumulator-based so fractional rates work exactly).
+
+Sources are drawn uniformly from the eligible node set each arrival;
+destinations are either ``None`` (anycast to any live gateway — the
+routing world) or a uniformly drawn node distinct from the source
+(unicast — the mapping world).  Priorities are drawn from a configured
+distribution so the ``priority`` queue policy has something to rank.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedSpawner
+from repro.traffic.payload import Payload
+from repro.types import NodeId, Time
+
+__all__ = ["TRAFFIC_PROFILES", "PayloadGenerator"]
+
+#: Recognised arrival profiles.
+TRAFFIC_PROFILES = ("poisson", "burst", "cbr")
+
+#: Hard cap on arrivals in a single step (keeps a misconfigured rate
+#: from allocating unboundedly).
+_MAX_ARRIVALS_PER_STEP = 1024
+
+
+class PayloadGenerator:
+    """Seeded arrival process producing :class:`Payload` batches per step."""
+
+    def __init__(
+        self,
+        *,
+        profile: str,
+        rate: float,
+        sources: Sequence[NodeId],
+        spawner: SeedSpawner,
+        ttl: int,
+        burst_size: int = 8,
+        burst_every: int = 10,
+        unicast_targets: Optional[Sequence[NodeId]] = None,
+        priority_levels: int = 1,
+        start: Time = 0,
+        stop: Optional[Time] = None,
+    ) -> None:
+        if profile not in TRAFFIC_PROFILES:
+            raise ConfigurationError(
+                f"unknown traffic profile {profile!r}; expected one of {TRAFFIC_PROFILES}"
+            )
+        if rate < 0:
+            raise ConfigurationError(f"traffic rate must be >= 0, got {rate}")
+        if not sources:
+            raise ConfigurationError("traffic generator needs at least one source")
+        if ttl < 1:
+            raise ConfigurationError(f"payload ttl must be >= 1, got {ttl}")
+        if burst_size < 1 or burst_every < 1:
+            raise ConfigurationError(
+                "burst_size and burst_every must both be >= 1, got "
+                f"{burst_size}/{burst_every}"
+            )
+        if priority_levels < 1:
+            raise ConfigurationError(
+                f"priority_levels must be >= 1, got {priority_levels}"
+            )
+        self.profile = profile
+        self.rate = rate
+        self.ttl = ttl
+        self.burst_size = burst_size
+        self.burst_every = burst_every
+        self.priority_levels = priority_levels
+        self.start = start
+        self.stop = stop
+        self._sources = sorted(sources)
+        self._unicast_targets = (
+            sorted(unicast_targets) if unicast_targets is not None else None
+        )
+        self._rng = spawner.stream("traffic:arrivals")
+        self._next_pid = 0
+        self._cbr_credit = 0.0
+
+    # ------------------------------------------------------------------
+
+    def step(self, now: Time) -> List[Payload]:
+        """Payloads arriving at step ``now`` (possibly empty)."""
+        if now < self.start or (self.stop is not None and now >= self.stop):
+            return []
+        count = self._arrival_count(now)
+        return [self._make_payload(now) for _ in range(count)]
+
+    def _arrival_count(self, now: Time) -> int:
+        if self.profile == "burst":
+            if (now - self.start) % self.burst_every == 0:
+                return min(self.burst_size, _MAX_ARRIVALS_PER_STEP)
+            return 0
+        if self.profile == "cbr":
+            self._cbr_credit += self.rate
+            count = int(self._cbr_credit)
+            self._cbr_credit -= count
+            return min(count, _MAX_ARRIVALS_PER_STEP)
+        return self._poisson(self.rate)
+
+    def _poisson(self, lam: float) -> int:
+        """Inverse-CDF Poisson sample from the generator's own stream."""
+        if lam <= 0.0:
+            return 0
+        draw = self._rng.random()
+        cumulative = term = math.exp(-lam)
+        count = 0
+        while draw >= cumulative and count < _MAX_ARRIVALS_PER_STEP:
+            count += 1
+            term *= lam / count
+            cumulative += term
+        return count
+
+    def _make_payload(self, now: Time) -> Payload:
+        source = self._sources[self._rng.randrange(len(self._sources))]
+        destination: Optional[NodeId] = None
+        if self._unicast_targets is not None:
+            candidates = [t for t in self._unicast_targets if t != source]
+            if not candidates:
+                candidates = list(self._unicast_targets)
+            destination = candidates[self._rng.randrange(len(candidates))]
+        priority = (
+            self._rng.randrange(self.priority_levels)
+            if self.priority_levels > 1
+            else 0
+        )
+        payload = Payload(
+            pid=self._next_pid,
+            source=source,
+            created_at=now,
+            ttl=self.ttl,
+            destination=destination,
+            priority=priority,
+        )
+        self._next_pid += 1
+        return payload

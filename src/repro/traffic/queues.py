@@ -1,0 +1,151 @@
+"""Per-node bounded payload buffers with explicit overflow policies.
+
+Every node that carries traffic owns one :class:`PayloadQueue`.  The
+queue is FIFO and *bounded*: production store-and-forward systems never
+buffer unbounded backlogs, they shed load — and which payload they shed
+is a first-class policy decision:
+
+* ``drop-tail`` — a full queue rejects the arriving copy (classic
+  tail-drop; the backlog keeps its head-of-line order),
+* ``drop-oldest`` — a full queue evicts its oldest copy to admit the
+  new one (fresh data beats stale data under DTN-style TTLs),
+* ``priority`` — a full queue evicts the lowest-priority copy (oldest
+  among ties) provided the arrival outranks it; otherwise the arrival
+  is rejected.
+
+Every shed copy is reported back to the caller so the
+:class:`~repro.traffic.payload.TrafficLedger` accounts it — overflow is
+*graceful degradation with receipts*, never silent loss.  Backpressure
+counters (offered / accepted / rejected / evicted / peak occupancy)
+feed the observability subsystem's queue-occupancy rings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.traffic.payload import PayloadCopy
+
+__all__ = ["QUEUE_POLICIES", "PayloadQueue"]
+
+#: Recognised overflow policies.
+QUEUE_POLICIES = ("drop-tail", "drop-oldest", "priority")
+
+
+class PayloadQueue:
+    """One node's bounded FIFO payload buffer.
+
+    Holds at most ``capacity`` copies and at most one copy per payload
+    id (replication routers never need two copies of the same payload
+    in one place; a duplicate offer is rejected and counted, which is
+    how retransmitted custody transfers stay idempotent).
+    """
+
+    def __init__(self, capacity: int, policy: str = "drop-tail") -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
+        if policy not in QUEUE_POLICIES:
+            raise ConfigurationError(
+                f"unknown queue policy {policy!r}; expected one of {QUEUE_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._copies: List[PayloadCopy] = []
+        self._pids: Set[int] = set()
+        # -- backpressure counters -------------------------------------
+        self.offered = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.evicted = 0
+        self.duplicates = 0
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._copies)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._pids
+
+    def copies(self) -> List[PayloadCopy]:
+        """The buffered copies, oldest first (a shallow copy)."""
+        return list(self._copies)
+
+    @property
+    def full(self) -> bool:
+        """Whether another copy cannot be admitted without shedding."""
+        return len(self._copies) >= self.capacity
+
+    def offer(self, copy: PayloadCopy) -> Tuple[bool, Optional[PayloadCopy]]:
+        """Try to admit ``copy``; returns ``(accepted, evicted_copy)``.
+
+        ``evicted_copy`` is the buffered copy shed to make room (only
+        ever non-``None`` under ``drop-oldest`` / ``priority``); the
+        caller owns its ledger accounting.
+        """
+        self.offered += 1
+        pid = copy.payload.pid
+        if pid in self._pids:
+            self.duplicates += 1
+            return False, None
+        evicted: Optional[PayloadCopy] = None
+        if self.full:
+            victim_index = self._victim_index(copy)
+            if victim_index is None:
+                self.rejected += 1
+                return False, None
+            evicted = self._copies.pop(victim_index)
+            self._pids.discard(evicted.payload.pid)
+            self.evicted += 1
+        self._copies.append(copy)
+        self._pids.add(pid)
+        self.accepted += 1
+        if len(self._copies) > self.peak:
+            self.peak = len(self._copies)
+        return True, evicted
+
+    def _victim_index(self, arriving: PayloadCopy) -> Optional[int]:
+        """Which buffered copy the policy sheds for ``arriving`` (or none)."""
+        if self.policy == "drop-tail":
+            return None
+        if self.policy == "drop-oldest":
+            return 0
+        # priority: shed the lowest-priority (oldest among ties) copy,
+        # but only when the arrival strictly outranks it.
+        victim = min(
+            range(len(self._copies)),
+            key=lambda index: self._copies[index].payload.priority,
+        )
+        if self._copies[victim].payload.priority < arriving.payload.priority:
+            return victim
+        return None
+
+    def remove(self, pid: int) -> Optional[PayloadCopy]:
+        """Take the copy of payload ``pid`` out of the buffer (or ``None``)."""
+        if pid not in self._pids:
+            return None
+        for index, copy in enumerate(self._copies):
+            if copy.payload.pid == pid:
+                self._pids.discard(pid)
+                return self._copies.pop(index)
+        raise AssertionError("pid index out of sync")  # pragma: no cover
+
+    def purge(self, pids: Set[int]) -> List[PayloadCopy]:
+        """Remove every copy whose payload id is in ``pids``."""
+        if not pids or not self._pids & pids:
+            return []
+        removed = [c for c in self._copies if c.payload.pid in pids]
+        self._copies = [c for c in self._copies if c.payload.pid not in pids]
+        self._pids -= pids
+        return removed
+
+    def counters(self) -> Dict[str, int]:
+        """The backpressure counters as a plain dict."""
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "evicted": self.evicted,
+            "duplicates": self.duplicates,
+            "peak": self.peak,
+        }

@@ -2,6 +2,7 @@
 
 import random
 
+from repro.net.graphutils import bfs_hops
 from repro.net.manual import fixed_topology
 from repro.routing.packets import DeliveryStats, PacketOutcome, PacketSimulator
 from repro.routing.table import RouteEntry, TableBank
@@ -80,6 +81,85 @@ class TestBatchAndStats:
         )
         assert stats.mean_hops == 4.0
         assert stats.delivery_rate == 0.5
+
+
+class TestEdgeCases:
+    def test_empty_table_bank_batch(self):
+        """A bank with no entries anywhere: nothing delivers, nothing hangs."""
+        simulator = PacketSimulator(line_with_gateway(), TableBank(4))
+        stats = simulator.send_batch(30, random.Random(5))
+        assert stats.sent == 30
+        assert stats.delivered == 0
+        assert stats.delivery_rate == 0.0
+        assert all(outcome.hops == 0 for outcome in stats.outcomes)
+
+    def test_source_is_gateway_zero_hops(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        outcome = simulator.send(0)
+        assert outcome.delivered
+        assert outcome.hops == 0
+        assert outcome.gateway == 0
+        assert simulator.path_stretch(outcome) is None  # shortest is 0
+
+    def test_ttl_exhausted_walk_reports_ttl_hops(self):
+        # a long loop with no gateway reachable: walk ends at the ttl
+        edges = []
+        for a, b in ((1, 2), (2, 3), (3, 1)):
+            edges.extend([(a, b), (b, a)])
+        topology = fixed_topology(4, edges, gateways=[0])
+        bank = TableBank(4)
+        bank.table(1).install(RouteEntry(0, 2, 9, installed_at=1))
+        bank.table(2).install(RouteEntry(0, 3, 9, installed_at=1))
+        bank.table(3).install(RouteEntry(0, 1, 9, installed_at=1))
+        simulator = PacketSimulator(topology, bank, walk_ttl=2)
+        outcome = simulator.send(1)
+        assert not outcome.delivered
+        assert outcome.hops == 2
+        assert outcome.gateway is None
+
+    def test_stats_agree_with_bfs_on_static_topology(self):
+        """On a static chain the table path IS the shortest path."""
+        topology = line_with_gateway()
+        simulator = PacketSimulator(topology, chain_tables())
+        hops_from = {
+            source: bfs_hops(topology.adjacency_copy(), source)[0]
+            for source in (1, 2, 3)
+        }
+        for source, expected in hops_from.items():
+            outcome = simulator.send(source)
+            assert outcome.delivered
+            assert outcome.hops == expected
+        stats = simulator.send_batch(60, random.Random(9))
+        assert stats.delivery_rate == 1.0
+        expected_mean = sum(
+            hops_from[o.source] for o in stats.outcomes
+        ) / stats.sent
+        assert stats.mean_hops == expected_mean
+
+
+class TestSeededBatch:
+    def test_int_seed_accepted_and_deterministic(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        first = simulator.send_batch(40, 123)
+        second = simulator.send_batch(40, 123)
+        assert first.outcomes == second.outcomes
+
+    def test_different_seeds_draw_different_sources(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        first = simulator.send_batch(40, 123)
+        second = simulator.send_batch(40, 124)
+        assert [o.source for o in first.outcomes] != [
+            o.source for o in second.outcomes
+        ]
+
+    def test_seed_stream_is_isolated_from_global_random(self):
+        simulator = PacketSimulator(line_with_gateway(), chain_tables())
+        random.seed(0)
+        first = simulator.send_batch(20, 7)
+        random.seed(999)
+        random.random()
+        second = simulator.send_batch(20, 7)
+        assert first.outcomes == second.outcomes
 
 
 class TestPathStretch:

@@ -1,0 +1,142 @@
+"""Unit tests for bounded payload queues and the arrival generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedSpawner
+from repro.traffic.generator import PayloadGenerator
+from repro.traffic.payload import Payload, PayloadCopy
+from repro.traffic.queues import PayloadQueue
+
+
+def _copy(pid, priority=0):
+    return PayloadCopy(Payload(pid, source=0, created_at=0, ttl=10, priority=priority))
+
+
+class TestPayloadQueue:
+    def test_accepts_until_capacity(self):
+        queue = PayloadQueue(2)
+        assert queue.offer(_copy(0)) == (True, None)
+        assert queue.offer(_copy(1)) == (True, None)
+        assert queue.full
+        accepted, evicted = queue.offer(_copy(2))
+        assert not accepted and evicted is None  # drop-tail refuses the arrival
+        assert len(queue) == 2
+
+    def test_drop_oldest_evicts_head(self):
+        queue = PayloadQueue(2, policy="drop-oldest")
+        queue.offer(_copy(0))
+        queue.offer(_copy(1))
+        accepted, evicted = queue.offer(_copy(2))
+        assert accepted
+        assert evicted.payload.pid == 0
+        assert 0 not in queue and 2 in queue
+
+    def test_priority_evicts_lowest_only_when_outranked(self):
+        queue = PayloadQueue(2, policy="priority")
+        queue.offer(_copy(0, priority=1))
+        queue.offer(_copy(1, priority=3))
+        # arrival outranks the priority-1 occupant
+        accepted, evicted = queue.offer(_copy(2, priority=2))
+        assert accepted and evicted.payload.pid == 0
+        # arrival that outranks nobody is refused
+        accepted, evicted = queue.offer(_copy(3, priority=1))
+        assert not accepted and evicted is None
+
+    def test_duplicate_pid_refused(self):
+        queue = PayloadQueue(4)
+        queue.offer(_copy(7))
+        accepted, evicted = queue.offer(_copy(7))
+        assert not accepted and evicted is None
+        assert queue.counters()["duplicates"] == 1
+        assert len(queue) == 1
+
+    def test_remove_and_purge(self):
+        queue = PayloadQueue(4)
+        for pid in range(3):
+            queue.offer(_copy(pid))
+        removed = queue.remove(1)
+        assert removed.payload.pid == 1
+        assert queue.remove(1) is None
+        purged = queue.purge({0, 2, 99})
+        assert sorted(c.payload.pid for c in purged) == [0, 2]
+        assert len(queue) == 0
+
+    def test_counters_track_peak_and_rejections(self):
+        queue = PayloadQueue(1)
+        queue.offer(_copy(0))
+        queue.offer(_copy(1))
+        counters = queue.counters()
+        assert counters["offered"] == 2
+        assert counters["accepted"] == 1
+        assert counters["rejected"] == 1
+        assert counters["peak"] == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PayloadQueue(0)
+        with pytest.raises(ConfigurationError):
+            PayloadQueue(4, policy="random-drop")
+
+
+class TestPayloadGenerator:
+    def _generator(self, **overrides):
+        settings = dict(
+            profile="poisson",
+            rate=1.0,
+            sources=[1, 2, 3],
+            spawner=SeedSpawner(11),
+            ttl=20,
+        )
+        settings.update(overrides)
+        return PayloadGenerator(**settings)
+
+    def test_same_seed_same_arrivals(self):
+        a = self._generator()
+        b = self._generator()
+        for now in range(50):
+            left = [(p.pid, p.source, p.created_at) for p in a.step(now)]
+            right = [(p.pid, p.source, p.created_at) for p in b.step(now)]
+            assert left == right
+
+    def test_different_seeds_differ(self):
+        a = self._generator()
+        b = self._generator(spawner=SeedSpawner(12))
+        streams = [
+            [(p.pid, p.source) for now in range(80) for p in g.step(now)]
+            for g in (a, b)
+        ]
+        assert streams[0] != streams[1]
+
+    def test_cbr_profile_is_exact(self):
+        generator = self._generator(profile="cbr", rate=0.5)
+        counts = [len(generator.step(now)) for now in range(10)]
+        assert sum(counts) == 5  # 0.5 payloads/step over 10 steps
+        assert max(counts) == 1
+
+    def test_burst_profile_fires_on_schedule(self):
+        generator = self._generator(
+            profile="burst", burst_size=4, burst_every=5, start=2
+        )
+        counts = {now: len(generator.step(now)) for now in range(12)}
+        assert counts[2] == 4 and counts[7] == 4
+        assert all(counts[n] == 0 for n in counts if n not in (2, 7))
+
+    def test_start_stop_window(self):
+        generator = self._generator(profile="cbr", rate=1.0, start=3, stop=6)
+        counts = [len(generator.step(now)) for now in range(10)]
+        assert counts == [0, 0, 0, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_unicast_destination_never_source(self):
+        generator = self._generator(
+            rate=2.0, unicast_targets=[1, 2, 3], sources=[1, 2, 3]
+        )
+        payloads = [p for now in range(60) for p in generator.step(now)]
+        assert payloads
+        assert all(p.destination is not None for p in payloads)
+        assert all(p.destination != p.source for p in payloads)
+
+    def test_pids_are_sequential(self):
+        generator = self._generator(rate=2.0)
+        payloads = [p for now in range(30) for p in generator.step(now)]
+        assert [p.pid for p in payloads] == list(range(len(payloads)))
