@@ -126,6 +126,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="data-plane router for the payload workload (implies --traffic)",
     )
     run.add_argument(
+        "--adversary",
+        metavar="SPEC",
+        help=(
+            "inject a seeded adversary into every variant: a bare gray-node "
+            "fraction ('0.2') or 'gray=0.2,rate=0.9,corrupt=2,flap=1,"
+            "start=10' (see repro.faults.plan.parse_adversary_spec)"
+        ),
+    )
+    run.add_argument(
+        "--quarantine",
+        action="store_true",
+        help=(
+            "enable the defense plane in every variant: suspicion/quarantine "
+            "health monitoring plus routing-table write guards"
+        ),
+    )
+    run.add_argument(
         "--hop-retries",
         type=int,
         default=None,
@@ -260,6 +277,16 @@ def _command_run(args: argparse.Namespace) -> int:
         if overrides:
             traffic = dataclasses.replace(traffic, **overrides)
         runner.set_default_traffic(traffic)
+    if args.adversary:
+        from repro.faults.plan import parse_adversary_spec
+
+        runner.set_default_adversary(parse_adversary_spec(args.adversary))
+    if args.quarantine:
+        from repro.net.health import HealthConfig
+        from repro.routing.table import TableGuard
+
+        runner.set_default_health(HealthConfig())
+        runner.set_default_table_guard(TableGuard())
     if args.route_ttl is not None:
         runner.set_default_route_ttl(args.route_ttl)
     if args.check_invariants:
@@ -328,6 +355,8 @@ def _command_run(args: argparse.Namespace) -> int:
                 "queue_cap": args.queue_cap,
                 "payload_ttl": args.payload_ttl,
                 "router": args.router,
+                "adversary": args.adversary,
+                "quarantine": args.quarantine,
                 "check_invariants": args.check_invariants,
             },
         )

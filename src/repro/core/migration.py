@@ -6,7 +6,8 @@ agent never left its node.  This module wraps the raw
 retry/backoff protocol both worlds share:
 
 * a failed hop leaves the agent in place and schedules a retry after an
-  exponentially growing wait (``backoff_base * 2**(failures-1)`` steps),
+  exponentially growing wait (``backoff_base * 2**(failures-1)`` steps,
+  clamped to ``backoff_cap``),
 * while waiting, the agent takes no movement decision (the radio is the
   bottleneck, not the policy),
 * once a retry is due the agent re-attempts the *same* target — unless
@@ -113,5 +114,7 @@ class ReliableMigration:
             agent.overhead.hops_abandoned += 1
             return ABANDONED
         agent.overhead.hop_retries += 1
-        state.retry_at = now + config.backoff_base * 2 ** (state.failures - 1)
+        state.retry_at = now + min(
+            config.backoff_cap, config.backoff_base * 2 ** (state.failures - 1)
+        )
         return RETRY

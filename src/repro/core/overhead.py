@@ -52,6 +52,8 @@ class OverheadMeter:
     payloads_lost: int = 0
     #: route entries dropped as link-quality evidence after abandonment.
     routes_invalidated: int = 0
+    #: route writes the table guards refused (adversarial resilience).
+    routes_rejected: int = 0
 
     def absorb(self, other: "OverheadMeter") -> None:
         """Add ``other``'s counters into this meter in place."""
@@ -68,6 +70,7 @@ class OverheadMeter:
         self.hops_abandoned += other.hops_abandoned
         self.payloads_lost += other.payloads_lost
         self.routes_invalidated += other.routes_invalidated
+        self.routes_rejected += other.routes_rejected
 
     def merged_with(self, other: "OverheadMeter") -> "OverheadMeter":
         """The element-wise sum of two meters (neither input mutated)."""
@@ -99,6 +102,7 @@ class OverheadMeter:
             "hops_abandoned": self.hops_abandoned,
             "payloads_lost": self.payloads_lost,
             "routes_invalidated": self.routes_invalidated,
+            "routes_rejected": self.routes_rejected,
         }
 
 

@@ -25,6 +25,7 @@ from repro.errors import ExperimentError
 from repro.experiments.report import ExperimentReport
 from repro.faults.metrics import ResilienceReport
 from repro.mapping.world import MappingResult
+from repro.net.health import HealthReport
 from repro.obs.collector import ObsReport
 from repro.routing.world import RoutingResult
 from repro.traffic.plane import TrafficReport
@@ -149,6 +150,14 @@ def _traffic_to_dict(report: Optional[TrafficReport]) -> Optional[dict]:
     return report.to_dict() if report is not None else None
 
 
+def _health_to_dict(report: Optional[HealthReport]) -> Optional[dict]:
+    return report.to_dict() if report is not None else None
+
+
+def _health_from_dict(payload: Optional[dict]) -> Optional[HealthReport]:
+    return HealthReport.from_dict(payload) if payload is not None else None
+
+
 def mapping_result_to_dict(result: MappingResult) -> dict:
     """The JSON-safe form of one mapping run's outcome."""
     return {
@@ -162,6 +171,7 @@ def mapping_result_to_dict(result: MappingResult) -> dict:
         "resilience": _resilience_to_dict(result.resilience),
         "obs": _obs_to_dict(result.obs),
         "traffic": _traffic_to_dict(result.traffic),
+        "health": _health_to_dict(result.health),
     }
 
 
@@ -178,6 +188,7 @@ def mapping_result_from_dict(payload: dict) -> MappingResult:
         resilience=_resilience_from_dict(payload.get("resilience")),
         obs=ObsReport.from_dict(payload.get("obs")),
         traffic=TrafficReport.from_dict(payload.get("traffic")),
+        health=_health_from_dict(payload.get("health")),
     )
 
 
@@ -189,9 +200,11 @@ def routing_result_to_dict(result: RoutingResult) -> dict:
         "converged_after": result.converged_after,
         "meetings": result.meetings,
         "overhead": dict(result.overhead),
+        "guard_rejections": result.guard_rejections,
         "resilience": _resilience_to_dict(result.resilience),
         "obs": _obs_to_dict(result.obs),
         "traffic": _traffic_to_dict(result.traffic),
+        "health": _health_to_dict(result.health),
     }
 
 
@@ -203,9 +216,11 @@ def routing_result_from_dict(payload: dict) -> RoutingResult:
         converged_after=payload["converged_after"],
         meetings=payload["meetings"],
         overhead={k: float(v) for k, v in payload["overhead"].items()},
+        guard_rejections=int(payload.get("guard_rejections", 0)),
         resilience=_resilience_from_dict(payload.get("resilience")),
         obs=ObsReport.from_dict(payload.get("obs")),
         traffic=TrafficReport.from_dict(payload.get("traffic")),
+        health=_health_from_dict(payload.get("health")),
     )
 
 

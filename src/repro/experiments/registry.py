@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    adversary_experiments,
     loss_experiments,
     mapping_experiments,
     routing_experiments,
@@ -79,6 +80,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
                "routing", loss_experiments.loss1),
         _entry("traffic1", "payload delivery vs loss: custody store-and-forward "
                "vs epidemic vs spray-and-wait", "routing", traffic_experiments.traffic1),
+        _entry("adversary1", "adversarial resilience: gray failures and corrupted "
+               "agents, defenses on vs off", "routing",
+               adversary_experiments.adversary1),
         _entry("abl1", "ablation: footprint freshness window", "mapping",
                mapping_experiments.abl1),
         _entry("abl2", "ablation: symmetric vs directed environment", "mapping",

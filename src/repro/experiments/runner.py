@@ -56,13 +56,15 @@ from repro.experiments.persistence import (
     routing_result_from_dict,
     routing_result_to_dict,
 )
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import AdversarySpec, FaultPlan
 from repro.mapping.world import MappingResult, MappingWorld, MappingWorldConfig
 from repro.net.channel import ChannelConfig
 from repro.net.generator import GeneratorConfig, NetworkGenerator
+from repro.net.health import HealthConfig
 from repro.net.topology import Topology
 from repro.obs.collector import ObsConfig
 from repro.obs.output import ObsAccumulator
+from repro.routing.table import TableGuard
 from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
 from repro.rng import derive_seed
 from repro.traffic.plane import TrafficConfig
@@ -81,6 +83,9 @@ __all__ = [
     "set_default_checkpoint_dir",
     "set_default_obs",
     "set_default_traffic",
+    "set_default_health",
+    "set_default_table_guard",
+    "set_default_adversary",
     "set_task_limits",
 ]
 
@@ -215,6 +220,20 @@ _obs_accumulator: Optional[ObsAccumulator] = None
 #: ``--router`` flags via :func:`set_default_traffic`.
 _default_traffic: Optional[TrafficConfig] = None
 
+#: health-monitor config applied to variants that carry none —
+#: set by the CLI's ``--quarantine`` flag via :func:`set_default_health`.
+_default_health: Optional[HealthConfig] = None
+
+#: table-write guard applied to routing variants that carry none —
+#: set by the CLI's ``--quarantine`` flag via
+#: :func:`set_default_table_guard`.
+_default_table_guard: Optional[TableGuard] = None
+
+#: adversary spec materialized into a seeded fault plan for variants
+#: that carry no plan of their own — set by the CLI's ``--adversary``
+#: flag via :func:`set_default_adversary`.
+_default_adversary: Optional[AdversarySpec] = None
+
 
 def set_default_workers(workers: int) -> None:
     """Set the pool size used by runs that do not pass ``workers``."""
@@ -290,6 +309,35 @@ def set_default_traffic(traffic: Optional[TrafficConfig]) -> None:
     _default_traffic = traffic
 
 
+def set_default_health(config: Optional[HealthConfig]) -> None:
+    """Set the health-monitor config injected into variants that carry none.
+
+    The CLI's ``--quarantine`` flag routes through here so any registry
+    experiment can run with suspicion/quarantine defenses switched on.
+    """
+    global _default_health
+    _default_health = config
+
+
+def set_default_table_guard(guard: Optional[TableGuard]) -> None:
+    """Set the table-write guard injected into routing variants that
+    carry none (mapping worlds have no routing tables to guard)."""
+    global _default_table_guard
+    _default_table_guard = guard
+
+
+def set_default_adversary(spec: Optional[AdversarySpec]) -> None:
+    """Set the adversary spec materialized for variants without a plan.
+
+    The CLI's ``--adversary`` flag routes through here.  The spec is
+    turned into a concrete seeded :class:`~repro.faults.plan.FaultPlan`
+    per sweep (it needs the generator's node count and the variant's
+    population), with gateways excluded from victim selection.
+    """
+    global _default_adversary
+    _default_adversary = spec
+
+
 def set_task_limits(
     timeout: Optional[float] = None, retries: Optional[int] = None
 ) -> None:
@@ -328,18 +376,42 @@ def _resolve_limits(
     return timeout, retries
 
 
-def _with_run_defaults(variants: Dict[str, Any]) -> Dict[str, Any]:
+def _with_run_defaults(
+    variants: Dict[str, Any],
+    generator_config: Optional[GeneratorConfig] = None,
+    master_seed: int = 0,
+) -> Dict[str, Any]:
     """Overlay the CLI-set module defaults onto every variant config.
 
-    Fault plan, channel, and invariant checking fill only unset fields
-    (a variant's own choice wins); the route TTL, when set, replaces the
-    variant's value — overriding it is the flag's whole purpose.
+    Fault plan, channel, invariant checking, health monitoring, and the
+    table guard fill only unset fields (a variant's own choice wins);
+    the route TTL, when set, replaces the variant's value — overriding
+    it is the flag's whole purpose.  An adversary spec is materialized
+    into a seeded fault plan per variant (gateways excluded as victims)
+    when neither the variant nor ``--faults`` supplied a plan.
     """
     adjusted = {}
     for name, config in variants.items():
         changes: Dict[str, Any] = {}
         if _default_fault_plan is not None and config.fault_plan is None:
             changes["fault_plan"] = _default_fault_plan
+        elif (
+            _default_adversary is not None
+            and config.fault_plan is None
+            and generator_config is not None
+        ):
+            spec = _default_adversary
+            changes["fault_plan"] = FaultPlan.random_adversary(
+                master_seed,
+                node_count=generator_config.node_count,
+                gray_fraction=spec.gray_fraction,
+                gray_rate=spec.gray_rate,
+                corrupt_agents=spec.corrupt_agents,
+                population=getattr(config, "population", 0),
+                flap_nodes=spec.flap_nodes,
+                start=spec.start,
+                exclude=tuple(range(generator_config.gateway_count)),
+            )
         if _default_channel is not None and config.channel is None:
             changes["channel"] = _default_channel
         if (
@@ -356,6 +428,14 @@ def _with_run_defaults(variants: Dict[str, Any]) -> Dict[str, Any]:
             and getattr(config, "traffic", None) is None
         ):
             changes["traffic"] = _default_traffic
+        if _default_health is not None and config.health is None:
+            changes["health"] = _default_health
+        if (
+            _default_table_guard is not None
+            and hasattr(config, "table_guard")
+            and config.table_guard is None
+        ):
+            changes["table_guard"] = _default_table_guard
         adjusted[name] = dataclasses.replace(config, **changes) if changes else config
     return adjusted
 
@@ -595,7 +675,7 @@ def run_mapping_variants(
     ``checkpoint_dir`` journals completed runs so an interrupted sweep
     resumes; ``task_timeout``/``task_retries`` bound each task.
     """
-    variants = _with_run_defaults(variants)
+    variants = _with_run_defaults(variants, generator_config, master_seed)
     timeout, retries = _resolve_limits(task_timeout, task_retries)
     checkpoint = _open_checkpoint(
         checkpoint_dir, "mapping", master_seed, generator_config, variants
@@ -661,7 +741,7 @@ def run_routing_variants(
     worker process.  Hardening knobs are as in
     :func:`run_mapping_variants`.
     """
-    variants = _with_run_defaults(variants)
+    variants = _with_run_defaults(variants, generator_config, master_seed)
     timeout, retries = _resolve_limits(task_timeout, task_retries)
     checkpoint = _open_checkpoint(
         checkpoint_dir, "routing", master_seed, generator_config, variants

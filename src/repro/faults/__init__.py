@@ -25,15 +25,19 @@ from repro.faults.injector import FaultInjector
 from repro.faults.metrics import ResilienceReport, ResilienceTracker
 from repro.faults.plan import (
     FAULT_KINDS,
+    AdversarySpec,
     FaultEvent,
     FaultPlan,
+    parse_adversary_spec,
     parse_fault_plan,
 )
 
 __all__ = [
     "FAULT_KINDS",
+    "AdversarySpec",
     "FaultEvent",
     "FaultPlan",
+    "parse_adversary_spec",
     "parse_fault_plan",
     "FaultInjector",
     "ResilienceReport",

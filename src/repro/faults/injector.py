@@ -43,6 +43,7 @@ class FaultInjector:
         self.plan = plan
         self._rng = rng
         self._dead: Set[AgentId] = set()
+        self._corrupted: Set[AgentId] = set()
         self._installed = False
 
     # ------------------------------------------------------------------
@@ -69,6 +70,10 @@ class FaultInjector:
     def is_alive(self, agent_id: AgentId) -> bool:
         """Whether the agent has not been killed by a fault."""
         return agent_id not in self._dead
+
+    def is_corrupted(self, agent_id: AgentId) -> bool:
+        """Whether a ``corruptagent`` fault turned this agent adversarial."""
+        return agent_id in self._corrupted
 
     def active_agents(self) -> List[Any]:
         """Agents that act this step: alive and not stranded on a dead node.
@@ -159,11 +164,98 @@ class FaultInjector:
             channel = getattr(self.world, "channel", None)
             applied = channel is not None and channel.clear_burst(node)
             target = (node,)
+        elif kind == "grayfail":
+            node = self._resolve_node(event)
+            channel = getattr(self.world, "channel", None)
+            applied = channel is not None and channel.set_grayfail(
+                node, event.amount
+            )
+            target = (node,)
+        elif kind == "grayclear":
+            node = self._resolve_node(event)
+            channel = getattr(self.world, "channel", None)
+            applied = channel is not None and channel.clear_grayfail(node)
+            target = (node,)
+        elif kind == "corruptagent":
+            agent_id = event.target[0]
+            applied = agent_id not in self._corrupted and any(
+                agent.agent_id == agent_id for agent in self.world.agents
+            )
+            if applied:
+                self._corrupted.add(agent_id)
+            target = event.target
+        elif kind == "flap":
+            applied = self._apply_flap(event, now)
+            target = event.target
         else:  # pragma: no cover - FaultEvent validates kinds
             raise ConfigurationError(f"unknown fault kind {kind!r}")
         self.world.engine.hooks.fire(
             "fault_injected", time=now, kind=kind, target=target, applied=applied
         )
+
+    def _apply_flap(self, event: FaultEvent, now: Time) -> bool:
+        """Start a flap: first down-toggle now, the rest on the calendar.
+
+        ``schedule_at`` only accepts strictly-future times, so the
+        opening down-toggle applies inline; every later toggle lands on
+        the engine's event calendar and therefore stays bit-identical
+        between serial and pooled runs.  The target always settles up
+        after the final cycle.
+        """
+        period = event.period
+        down_steps = max(1, min(period - 1, int(round(event.amount * period))))
+        applied = self._flap_toggle(event, down=True)
+        engine = self.world.engine
+        label = f"fault:{event.describe()}"
+        for cycle in range(event.cycles):
+            down_at = event.time + cycle * period
+            if cycle > 0:
+                engine.schedule_at(
+                    down_at,
+                    lambda event=event: self._flap_fire(event, down=True),
+                    label=label,
+                )
+            engine.schedule_at(
+                down_at + down_steps,
+                lambda event=event: self._flap_fire(event, down=False),
+                label=label,
+            )
+        return applied
+
+    def _flap_fire(self, event: FaultEvent, down: bool) -> None:
+        """One scheduled flap toggle, with its own hook firing."""
+        now = self.world.engine.clock.now
+        applied = self._flap_toggle(event, down=down)
+        self.world.engine.hooks.fire(
+            "fault_injected",
+            time=now,
+            kind="flap",
+            target=event.target,
+            applied=applied,
+        )
+
+    def _flap_toggle(self, event: FaultEvent, down: bool) -> bool:
+        """Apply one up/down transition of a flapping node or link."""
+        topology = self.world.topology
+        if len(event.target) == 2:
+            source, destination = event.target
+            if down:
+                applied = topology.block_edge(source, destination)
+            else:
+                applied = topology.unblock_edge(source, destination)
+            if applied:
+                self._notify_topology_changed()
+            return applied
+        node = self._resolve_node(event)
+        if down:
+            applied = topology.set_node_down(node)
+            if applied:
+                self._degrade_after_crash(node, self.world.engine.clock.now)
+        else:
+            applied = topology.set_node_up(node)
+            if applied:
+                self._notify_topology_changed()
+        return applied
 
     def _resolve_node(self, event: FaultEvent) -> NodeId:
         """Translate the event's target into a concrete node id."""

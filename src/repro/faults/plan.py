@@ -31,6 +31,14 @@ Spec grammar (events separated by ``;``)::
     corrupt@90:4      node 4's next hops are scrambled
     lossburst@30:5:0.6  node 5's outgoing transfers gain 60% extra loss
     lossclear@60:5    the loss burst on node 5 lifts
+    grayfail@30:5:0.9   node 5 gray-fails: stays up but silently drops
+                        90% of inbound transfers
+    grayclear@60:5    the gray failure on node 5 heals
+    flap@30:5:0.5:8:3   node 5 flaps: 3 up/down cycles of period 8
+                        starting at step 30, down 50% of each cycle
+    flap@30:2-7:0.5:8:3 the directed link 2->7 flaps the same way
+    corruptagent@25:a3  agent 3 turns adversarial: the routing
+                        knowledge it writes from now on is forged
 
     policy=respawn    (anywhere in the spec) respawn policy for agents
                       whose node crashes: die | respawn | freeze
@@ -52,6 +60,8 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "parse_fault_plan",
+    "AdversarySpec",
+    "parse_adversary_spec",
 ]
 
 #: Every supported fault action.
@@ -67,6 +77,10 @@ FAULT_KINDS = frozenset(
         "corrupt",
         "lossburst",
         "lossclear",
+        "grayfail",
+        "grayclear",
+        "flap",
+        "corruptagent",
     }
 )
 
@@ -78,12 +92,24 @@ AGENT_POLICIES = ("die", "respawn", "freeze")
 
 #: Kinds whose target is a single node id (or ``gwK``).
 _NODE_KINDS = frozenset(
-    {"crash", "recover", "shock", "wipe", "corrupt", "lossburst", "lossclear"}
+    {
+        "crash",
+        "recover",
+        "shock",
+        "wipe",
+        "corrupt",
+        "lossburst",
+        "lossclear",
+        "grayfail",
+        "grayclear",
+    }
 )
 #: Kinds that carry a ``(0, 1]`` amount in their spec form.
-_AMOUNT_KINDS = frozenset({"shock", "lossburst"})
+_AMOUNT_KINDS = frozenset({"shock", "lossburst", "grayfail"})
 #: Kinds whose target is a directed edge ``u-v``.
 _EDGE_KINDS = frozenset({"blackout", "restore"})
+#: Kinds whose target is an agent id ``aN``.
+_AGENT_KINDS = frozenset({"kill", "corruptagent"})
 
 
 @dataclass(frozen=True)
@@ -92,9 +118,14 @@ class FaultEvent:
 
     ``target`` is a tuple of ids — one node id for node faults, an
     ``(source, destination)`` pair for link faults, one agent id for
-    kills.  ``gateway_relative`` flips the node id to an index into the
-    topology's gateway list, resolved at injection time, so a plan can
-    say "the first gateway" without knowing the generated network.
+    kills and agent corruption.  ``gateway_relative`` flips the node id
+    to an index into the topology's gateway list, resolved at injection
+    time, so a plan can say "the first gateway" without knowing the
+    generated network.
+
+    ``flap`` events additionally carry a duty cycle: ``amount`` is the
+    fraction of each ``period``-step cycle spent down, and ``cycles``
+    is how many up/down oscillations run before the target settles up.
     """
 
     time: Time
@@ -102,6 +133,8 @@ class FaultEvent:
     target: Tuple[int, ...]
     amount: float = 0.0
     gateway_relative: bool = False
+    period: int = 0
+    cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -112,14 +145,39 @@ class FaultEvent:
             raise ConfigurationError(
                 f"fault time must be >= 1 (the engine schedules ahead), got {self.time}"
             )
-        expected = 2 if self.kind in _EDGE_KINDS else 1
-        if len(self.target) != expected:
-            raise ConfigurationError(
-                f"{self.kind} takes {expected} target id(s), got {self.target!r}"
-            )
+        if self.kind == "flap":
+            if len(self.target) not in (1, 2):
+                raise ConfigurationError(
+                    f"flap takes a node or a 'u-v' edge target, got {self.target!r}"
+                )
+            if not 0.0 < self.amount <= 1.0:
+                raise ConfigurationError(
+                    f"flap duty must be in (0, 1], got {self.amount}"
+                )
+            if self.period < 2:
+                raise ConfigurationError(
+                    f"flap period must be >= 2 steps, got {self.period}"
+                )
+            if self.cycles < 1:
+                raise ConfigurationError(
+                    f"flap cycles must be >= 1, got {self.cycles}"
+                )
+        else:
+            if self.period or self.cycles:
+                raise ConfigurationError(
+                    f"period/cycles only apply to flap, not {self.kind!r}"
+                )
+            expected = 2 if self.kind in _EDGE_KINDS else 1
+            if len(self.target) != expected:
+                raise ConfigurationError(
+                    f"{self.kind} takes {expected} target id(s), got {self.target!r}"
+                )
         if any(t < 0 for t in self.target):
             raise ConfigurationError(f"target ids must be >= 0, got {self.target!r}")
-        if self.gateway_relative and self.kind not in _NODE_KINDS:
+        if self.gateway_relative and not (
+            self.kind in _NODE_KINDS
+            or (self.kind == "flap" and len(self.target) == 1)
+        ):
             raise ConfigurationError(
                 f"gateway-relative targets only apply to node faults, not {self.kind!r}"
             )
@@ -130,15 +188,20 @@ class FaultEvent:
 
     def describe(self) -> str:
         """Compact human-readable form (mirrors the spec DSL)."""
-        if self.kind in _EDGE_KINDS:
+        if len(self.target) == 2:
             target = f"{self.target[0]}-{self.target[1]}"
-        elif self.kind == "kill":
+        elif self.kind in _AGENT_KINDS:
             target = f"a{self.target[0]}"
         elif self.gateway_relative:
             target = f"gw{self.target[0]}"
         else:
             target = str(self.target[0])
-        suffix = f":{self.amount:g}" if self.kind in _AMOUNT_KINDS else ""
+        if self.kind == "flap":
+            suffix = f":{self.amount:g}:{self.period}:{self.cycles}"
+        elif self.kind in _AMOUNT_KINDS:
+            suffix = f":{self.amount:g}"
+        else:
+            suffix = ""
         return f"{self.kind}@{self.time}:{target}{suffix}"
 
 
@@ -256,6 +319,50 @@ class FaultPlan:
             FaultEvent(time, "lossclear", (node,), gateway_relative=gateway)
         )
 
+    def gray_failure(
+        self, time: Time, node: int, rate: float, gateway: bool = False
+    ) -> "FaultPlan":
+        """Make a node silently drop inbound transfers at ``rate``."""
+        return self.adding(
+            FaultEvent(
+                time, "grayfail", (node,), amount=rate, gateway_relative=gateway
+            )
+        )
+
+    def gray_clear(self, time: Time, node: int, gateway: bool = False) -> "FaultPlan":
+        """Heal a node's gray failure."""
+        return self.adding(
+            FaultEvent(time, "grayclear", (node,), gateway_relative=gateway)
+        )
+
+    def flap_node(
+        self, time: Time, node: int, *, duty: float = 0.5, period: int = 8,
+        cycles: int = 3, gateway: bool = False,
+    ) -> "FaultPlan":
+        """Oscillate a node up/down on a duty cycle, settling up."""
+        return self.adding(
+            FaultEvent(
+                time, "flap", (node,), amount=duty, period=period,
+                cycles=cycles, gateway_relative=gateway,
+            )
+        )
+
+    def flap_edge(
+        self, time: Time, source: int, destination: int, *,
+        duty: float = 0.5, period: int = 8, cycles: int = 3,
+    ) -> "FaultPlan":
+        """Oscillate a directed link up/down on a duty cycle."""
+        return self.adding(
+            FaultEvent(
+                time, "flap", (source, destination), amount=duty,
+                period=period, cycles=cycles,
+            )
+        )
+
+    def corrupt_agent(self, time: Time, agent: int) -> "FaultPlan":
+        """Turn one agent adversarial: its table writes are forged."""
+        return self.adding(FaultEvent(time, "corruptagent", (agent,)))
+
     # -- random churn ----------------------------------------------------
 
     @classmethod
@@ -307,6 +414,71 @@ class FaultPlan:
             events.append(FaultEvent(crash_at + downtime, "recover", (victim,)))
         return cls(events=tuple(events), agent_policy=agent_policy)
 
+    @classmethod
+    def random_adversary(
+        cls,
+        master_seed: int,
+        *,
+        node_count: int,
+        gray_fraction: float = 0.0,
+        gray_rate: float = 0.9,
+        corrupt_agents: int = 0,
+        population: int = 0,
+        flap_nodes: int = 0,
+        start: Time = 10,
+        period: int = 8,
+        cycles: int = 3,
+        duty: float = 0.5,
+        exclude: Tuple[int, ...] = (),
+        agent_policy: str = "freeze",
+        name: str = "adversary",
+    ) -> "FaultPlan":
+        """A reproducible adversary schedule drawn from a seed.
+
+        At step ``start``, ``round(gray_fraction * len(candidates))``
+        distinct non-excluded nodes gray-fail at ``gray_rate`` for the
+        rest of the run, ``corrupt_agents`` distinct agents (ids below
+        ``population``) turn adversarial, and ``flap_nodes`` further
+        distinct nodes begin flapping on a ``duty``/``period`` cycle.
+        The stream is derived from ``(master_seed, name)`` exactly like
+        :meth:`random_churn`, so the same seed always builds the same
+        adversary and defended/undefended variants face identical
+        attacks.
+        """
+        if not 0.0 <= gray_fraction <= 1.0:
+            raise ConfigurationError(
+                f"gray_fraction must be in [0, 1], got {gray_fraction}"
+            )
+        if corrupt_agents < 0 or corrupt_agents > population:
+            raise ConfigurationError(
+                f"cannot corrupt {corrupt_agents} agents out of {population}"
+            )
+        candidates = [n for n in range(node_count) if n not in set(exclude)]
+        gray_count = int(round(gray_fraction * len(candidates)))
+        if gray_count + flap_nodes > len(candidates):
+            raise ConfigurationError(
+                f"adversary needs {gray_count + flap_nodes} distinct victims "
+                f"but only {len(candidates)} nodes are eligible"
+            )
+        rng = random.Random(derive_seed(master_seed, f"faults:{name}"))
+        victims = rng.sample(candidates, gray_count + flap_nodes)
+        events = []
+        for victim in victims[:gray_count]:
+            events.append(
+                FaultEvent(start, "grayfail", (victim,), amount=gray_rate)
+            )
+        for victim in victims[gray_count:]:
+            events.append(
+                FaultEvent(
+                    start, "flap", (victim,), amount=duty,
+                    period=period, cycles=cycles,
+                )
+            )
+        if corrupt_agents:
+            for agent_id in rng.sample(range(population), corrupt_agents):
+                events.append(FaultEvent(start, "corruptagent", (agent_id,)))
+        return cls(events=tuple(events), agent_policy=agent_policy)
+
     def describe(self) -> str:
         """The plan in spec-DSL form (parseable back with one policy)."""
         parts = [f"policy={self.agent_policy}"]
@@ -316,16 +488,18 @@ class FaultPlan:
 
 def _parse_target(kind: str, text: str) -> Tuple[Tuple[int, ...], bool]:
     """Decode a spec target: ``N``, ``gwK``, ``aN``, or ``U-V``."""
-    if kind in _EDGE_KINDS:
+    if kind in _EDGE_KINDS or (kind == "flap" and "-" in text):
         pieces = text.split("-")
         if len(pieces) != 2:
             raise ConfigurationError(
                 f"{kind} target must be 'source-destination', got {text!r}"
             )
         return (int(pieces[0]), int(pieces[1])), False
-    if kind == "kill":
+    if kind in _AGENT_KINDS:
         if not text.startswith("a"):
-            raise ConfigurationError(f"kill target must be 'a<agent-id>', got {text!r}")
+            raise ConfigurationError(
+                f"{kind} target must be 'a<agent-id>', got {text!r}"
+            )
         return (int(text[1:]),), False
     if text.startswith("gw"):
         return (int(text[2:]),), True
@@ -362,6 +536,8 @@ def parse_fault_plan(spec: str) -> FaultPlan:
             time = int(pieces[0])
             target, gateway_relative = _parse_target(kind, pieces[1])
             amount = float(pieces[2]) if len(pieces) > 2 else 0.0
+            period = int(pieces[3]) if len(pieces) > 3 else 0
+            cycles = int(pieces[4]) if len(pieces) > 4 else 0
         except ValueError as error:
             raise ConfigurationError(
                 f"malformed fault {segment!r}: {error}"
@@ -373,6 +549,98 @@ def parse_fault_plan(spec: str) -> FaultPlan:
                 target=target,
                 amount=amount,
                 gateway_relative=gateway_relative,
+                period=period,
+                cycles=cycles,
             )
         )
     return FaultPlan(events=tuple(events), agent_policy=policy)
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """The CLI's ``--adversary`` knobs, as a frozen value type.
+
+    Materialised into a concrete :class:`FaultPlan` per run via
+    :meth:`FaultPlan.random_adversary` once the network dimensions are
+    known — the spec itself stays network-agnostic so it can ride in
+    run manifests and sweep checkpoints unchanged.
+    """
+
+    gray_fraction: float = 0.0
+    gray_rate: float = 0.9
+    corrupt_agents: int = 0
+    flap_nodes: int = 0
+    start: Time = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gray_fraction <= 1.0:
+            raise ConfigurationError(
+                f"gray fraction must be in [0, 1], got {self.gray_fraction}"
+            )
+        if not 0.0 < self.gray_rate <= 1.0:
+            raise ConfigurationError(
+                f"gray rate must be in (0, 1], got {self.gray_rate}"
+            )
+        if self.corrupt_agents < 0:
+            raise ConfigurationError(
+                f"corrupt agent count must be >= 0, got {self.corrupt_agents}"
+            )
+        if self.flap_nodes < 0:
+            raise ConfigurationError(
+                f"flap node count must be >= 0, got {self.flap_nodes}"
+            )
+        if self.start < 1:
+            raise ConfigurationError(
+                f"adversary start must be >= 1, got {self.start}"
+            )
+
+
+def parse_adversary_spec(spec: str) -> AdversarySpec:
+    """Parse the CLI's ``--adversary`` spec into an :class:`AdversarySpec`.
+
+    A bare number is a gray-failure node fraction (``--adversary 0.2``);
+    the long form is comma-separated ``key=value`` pairs::
+
+        gray=0.2,rate=0.9,corrupt=2,flap=3,start=10
+
+    Raises :class:`~repro.errors.ConfigurationError` on malformed input.
+    """
+    text = spec.strip()
+    if not text:
+        raise ConfigurationError("empty adversary spec")
+    try:
+        return AdversarySpec(gray_fraction=float(text))
+    except ValueError:
+        pass
+    aliases = {
+        "gray": ("gray_fraction", float),
+        "fraction": ("gray_fraction", float),
+        "rate": ("gray_rate", float),
+        "corrupt": ("corrupt_agents", int),
+        "flap": ("flap_nodes", int),
+        "start": ("start", int),
+    }
+    kwargs = {}
+    for raw_pair in text.split(","):
+        pair = raw_pair.strip()
+        if not pair:
+            continue
+        name, separator, value = pair.partition("=")
+        if not separator:
+            raise ConfigurationError(
+                f"malformed adversary spec segment {pair!r}; expected 'key=value'"
+            )
+        entry = aliases.get(name.strip())
+        if entry is None:
+            raise ConfigurationError(
+                f"unknown adversary spec key {name.strip()!r}; "
+                f"expected one of {sorted(aliases)}"
+            )
+        target, cast = entry
+        try:
+            kwargs[target] = cast(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed adversary spec value in {pair!r}"
+            ) from None
+    return AdversarySpec(**kwargs)

@@ -38,6 +38,7 @@ from repro.faults.metrics import ResilienceReport, ResilienceTracker
 from repro.faults.plan import FaultPlan
 from repro.mapping.metrics import KnowledgeTracker
 from repro.net.channel import ChannelConfig, ChannelModel
+from repro.net.health import HealthConfig, HealthMonitor, HealthReport
 from repro.net.radio import HeterogeneousRange
 from repro.net.topology import Topology
 from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
@@ -73,6 +74,10 @@ class MappingWorldConfig:
     fault_plan: Optional[FaultPlan] = None
     #: ``None`` means a lossless channel (identical to ``ChannelConfig()``).
     channel: Optional[ChannelConfig] = None
+    #: ``None`` (default) attaches no health monitor — next-hop choice
+    #: never consults quarantine state; a
+    #: :class:`~repro.net.health.HealthConfig` switches the defense on.
+    health: Optional[HealthConfig] = None
     #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
     #: variable (tests switch it on); ``True``/``False`` force it.
     check_invariants: Optional[bool] = None
@@ -112,6 +117,7 @@ class MappingResult:
     resilience: Optional[ResilienceReport] = None
     obs: Optional[ObsReport] = None
     traffic: Optional[TrafficReport] = None
+    health: Optional[HealthReport] = None
 
     @property
     def finished(self) -> bool:
@@ -137,6 +143,11 @@ class MappingWorld:
             self._spawner.seed_for("channel"),
         )
         self._migration = ReliableMigration(self.channel)
+        # Health monitoring is strictly opt-in: with health unset nothing
+        # is built and the hot loop takes only `is None` branches.
+        self.health: Optional[HealthMonitor] = None
+        if config.health is not None:
+            self.health = HealthMonitor(config.health, self.engine.hooks)
         self.agents: List[MappingAgent] = self._spawn_agents()
         self.tracker = KnowledgeTracker(topology.edge_count)
         # Once the topology can mutate mid-run, completeness has to be
@@ -192,6 +203,7 @@ class MappingWorld:
                 tables=None,
                 obs=self._obs,
                 unicast=True,
+                health=self.health,
             )
             self.traffic.install(self.engine)
         if config.degrade_at is not None:
@@ -265,6 +277,8 @@ class MappingWorld:
         if not agents:
             raise StopSimulation("all-agents-dead")
         topology = self.topology
+        if self.health is not None:
+            self.health.advance(now)
         # Phase 1: first-hand observation.
         neighbor_cache: Dict[NodeId, Sequence[NodeId]] = {}
         for agent in agents:
@@ -292,6 +306,10 @@ class MappingWorld:
                 agent, now, neighbors
             )
             if needs_decision:
+                if self.health is not None:
+                    neighbors = self.health.filter_targets(
+                        agent.location, neighbors
+                    )
                 target = agent.choose_next(neighbors, now, field=self.field)
                 if target is None:
                     continue
@@ -304,7 +322,10 @@ class MappingWorld:
         if profiler is not None:
             phase_started = profiler.lap("decide", phase_started)
         for agent, target in moves:
+            origin = agent.location
             outcome = self._migration.attempt_hop(agent, target, now)
+            if self.health is not None:
+                self.health.observe(origin, target, outcome == DELIVERED, now)
             if outcome != DELIVERED:
                 if outcome == ABANDONED:
                     self.engine.hooks.fire(
@@ -325,6 +346,12 @@ class MappingWorld:
             losses = self.channel.stats.losses
             self._obs.channel_losses(now, losses - self._obs_last_losses)
             self._obs_last_losses = losses
+            if self.health is not None:
+                self._obs.health_step(
+                    now,
+                    self.health.quarantined_count(),
+                    self.health.max_suspicion(),
+                )
             stats = topology.stats
             last = self._obs_last_topo
             self._obs.topology_churn(
@@ -389,6 +416,7 @@ class MappingWorld:
             resilience=resilience,
             obs=obs_report,
             traffic=traffic_report,
+            health=self.health.report() if self.health is not None else None,
         )
 
 

@@ -25,6 +25,7 @@ from repro.net.generator import (
     generate_mapping_network,
 )
 from repro.net.geometry import Arena, Point
+from repro.net.health import HealthConfig, HealthMonitor, HealthReport
 from repro.net.mobility import MobilityModel, RandomVelocity, RandomWaypoint, Stationary
 from repro.net.node import Node
 from repro.net.radio import (
@@ -59,6 +60,9 @@ __all__ = [
     "BatteryLoss",
     "CompositeLoss",
     "parse_channel_spec",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthReport",
     "NetworkGenerator",
     "GeneratorConfig",
     "MAPPING_PRESET",

@@ -61,6 +61,14 @@ __all__ = [
 #: Denominator turning a 64-bit keyed hash into a uniform draw in [0, 1).
 _DRAW_SPAN = float(2**64)
 
+#: Attempt-key prefixes carrying data-plane payloads — the only traffic
+#: a gray-failed node drops.  Agent migrations (``hop:``) and meeting
+#: exchanges keep succeeding: that is what makes the failure *gray* —
+#: the node looks perfectly healthy to the control plane, keeps relaying
+#: agents and attracting routes, and silently swallows the payloads
+#: those routes then send through it.
+GRAY_KINDS = frozenset({"pay", "epi", "spr"})
+
 
 @dataclass(frozen=True)
 class ChannelConfig:
@@ -75,8 +83,9 @@ class ChannelConfig:
     ``hop_retries``/``backoff_base`` parameterise the reliable-migration
     protocol built on top of the channel: a failed hop is retried up to
     ``hop_retries`` times, waiting ``backoff_base * 2**(failures-1)``
-    simulation steps between attempts, before the agent abandons the
-    target and re-plans via its normal policy.
+    simulation steps between attempts (clamped to ``backoff_cap``),
+    before the agent abandons the target and re-plans via its normal
+    policy.
     """
 
     #: constant per-attempt loss probability.
@@ -91,6 +100,11 @@ class ChannelConfig:
     hop_retries: int = 3
     #: first retry waits this many steps; each further retry doubles it.
     backoff_base: int = 1
+    #: longest wait between retries; the exponential backoff never
+    #: exceeds this many steps.  The default (64) is far above anything
+    #: the default retry budget can reach, so existing behaviour is
+    #: unchanged unless ``hop_retries`` is raised past it.
+    backoff_cap: int = 64
 
     def __post_init__(self) -> None:
         for name in ("loss", "distance_factor", "battery_factor"):
@@ -108,6 +122,10 @@ class ChannelConfig:
         if self.backoff_base < 1:
             raise ConfigurationError(
                 f"backoff_base must be >= 1, got {self.backoff_base}"
+            )
+        if self.backoff_cap < 1:
+            raise ConfigurationError(
+                f"backoff_cap must be >= 1, got {self.backoff_cap}"
             )
 
     @property
@@ -241,20 +259,36 @@ class ChannelModel:
         self._policy = policy_from_config(config)
         self._seed = seed
         self._bursts: Dict[NodeId, float] = {}
+        self._gray: Dict[NodeId, float] = {}
         self.stats = ChannelStats()
 
     # ------------------------------------------------------------------
     # Probability
     # ------------------------------------------------------------------
 
-    def loss_probability(self, source: NodeId, destination: NodeId) -> float:
-        """Current loss probability of ``source -> destination``."""
+    def loss_probability(
+        self, source: NodeId, destination: NodeId, kind: str = ""
+    ) -> float:
+        """Current loss probability of ``source -> destination``.
+
+        ``kind`` is the attempt-key prefix (``hop``, ``meet``, ``pay``,
+        …); gray failures only affect the data-plane kinds in
+        :data:`GRAY_KINDS`, so callers that omit it get the control-plane
+        probability.
+        """
         probability = self._policy.loss_probability(
             self.topology.node(source), self.topology.node(destination)
         )
         burst = self._bursts.get(source)
         if burst is not None:
             probability = 1.0 - (1.0 - probability) * (1.0 - burst)
+        if kind in GRAY_KINDS:
+            gray = self._gray.get(destination)
+            if gray is not None:
+                # Gray failure: the *destination* receives the radio
+                # frame but silently drops the payload, so the term
+                # composes on the receiving side of the link.
+                probability = 1.0 - (1.0 - probability) * (1.0 - gray)
         return min(1.0, max(0.0, probability))
 
     # ------------------------------------------------------------------
@@ -268,10 +302,11 @@ class ChannelModel:
         ``meet:3``); the same ``(now, key)`` always yields the same
         outcome for a given seed and probability.
         """
-        if self.config.lossless and not self._bursts:
+        if self.config.lossless and not self._bursts and not self._gray:
             self.stats.attempts += 1
             return True
-        probability = self.loss_probability(source, destination)
+        kind = key.split(":", 1)[0]
+        probability = self.loss_probability(source, destination, kind)
         self.stats.attempts += 1
         if probability <= 0.0:
             return True
@@ -280,7 +315,6 @@ class ChannelModel:
             if draw >= probability:
                 return True
         self.stats.losses += 1
-        kind = key.split(":", 1)[0]
         self.stats.losses_by_kind[kind] = self.stats.losses_by_kind.get(kind, 0) + 1
         return False
 
@@ -312,6 +346,39 @@ class ChannelModel:
     def active_bursts(self) -> Dict[NodeId, float]:
         """Currently bursting nodes and their extra loss (a copy)."""
         return dict(self._bursts)
+
+    # ------------------------------------------------------------------
+    # Gray failures (fault layer)
+    # ------------------------------------------------------------------
+
+    def set_grayfail(self, node: NodeId, rate: float) -> bool:
+        """Make ``node`` silently drop inbound *payloads* at ``rate``.
+
+        Unlike a burst (a flaky *sender*), a gray failure is a receiver
+        that stays up, keeps relaying agents, and loses the data-plane
+        traffic it is handed (the kinds in :data:`GRAY_KINDS`) — the
+        hardest failure mode for neighbors to diagnose, because every
+        control-plane signal says the node is healthy.  Returns whether
+        the state changed (idempotent like :meth:`set_burst`).
+        """
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(
+                f"grayfail rate must be in (0, 1], got {rate}"
+            )
+        self.topology.node(node)  # validate the id
+        if self._gray.get(node) == rate:
+            return False
+        self._gray[node] = rate
+        return True
+
+    def clear_grayfail(self, node: NodeId) -> bool:
+        """Heal a gray failure; returns whether the state changed."""
+        return self._gray.pop(node, None) is not None
+
+    @property
+    def active_grayfails(self) -> Dict[NodeId, float]:
+        """Currently gray-failing nodes and their drop rate (a copy)."""
+        return dict(self._gray)
 
 
 def parse_channel_spec(spec: str) -> ChannelConfig:
@@ -356,6 +423,7 @@ def parse_channel_spec(spec: str) -> ChannelConfig:
         "battery": "battery_factor",
         "retries": "hop_retries",
         "backoff": "backoff_base",
+        "cap": "backoff_cap",
     }
     kwargs: Dict[str, float] = {}
     for name, value in values.items():
@@ -365,7 +433,7 @@ def parse_channel_spec(spec: str) -> ChannelConfig:
                 f"unknown channel spec key {name!r}; "
                 f"expected one of {sorted(set(aliases))}"
             )
-        if target in ("hop_retries", "backoff_base"):
+        if target in ("hop_retries", "backoff_base", "backoff_cap"):
             kwargs[target] = int(value)
         else:
             kwargs[target] = value

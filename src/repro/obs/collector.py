@@ -142,6 +142,8 @@ class ObsCollector:
         hooks.subscribe("agent_moved", self._on_agent_moved)
         hooks.subscribe("fault_injected", self._on_fault)
         hooks.subscribe("link_suspected", self._on_link_suspected)
+        hooks.subscribe("neighbor_quarantined", self._on_quarantined)
+        hooks.subscribe("neighbor_rehabilitated", self._on_rehabilitated)
         if scenario == "mapping":
             hooks.subscribe("knowledge_recorded", self._on_knowledge)
         else:
@@ -173,6 +175,34 @@ class ObsCollector:
         if self._bus is not None:
             self._bus.emit(
                 time, "link_suspected", node=node, neighbor=neighbor, dropped=dropped
+            )
+
+    def _on_quarantined(
+        self, *, time: Time, node: Any, neighbor: Any, quality: float
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("health.quarantines")
+        if self._bus is not None:
+            self._bus.emit(
+                time,
+                "neighbor_quarantined",
+                node=node,
+                neighbor=neighbor,
+                quality=quality,
+            )
+
+    def _on_rehabilitated(
+        self, *, time: Time, node: Any, neighbor: Any, quality: float
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("health.rehabilitations")
+        if self._bus is not None:
+            self._bus.emit(
+                time,
+                "neighbor_rehabilitated",
+                node=node,
+                neighbor=neighbor,
+                quality=quality,
             )
 
     def _record_metric(self, time: Time, value: float) -> None:
@@ -242,6 +272,21 @@ class ObsCollector:
                 delivered=delivered,
                 buffered=buffered,
                 in_flight=in_flight,
+            )
+
+    def health_step(
+        self, time: Time, quarantined: int, suspicion: float
+    ) -> None:
+        """Record the health monitor's per-step quarantine/suspicion view."""
+        if self.metrics is not None:
+            registry = self.metrics
+            registry.ring("health.quarantined.series", self.config.ring_capacity)
+            registry.ring_record("health.quarantined.series", time, quarantined)
+            registry.ring("health.suspicion.series", self.config.ring_capacity)
+            registry.ring_record("health.suspicion.series", time, suspicion)
+        if self._bus is not None:
+            self._bus.emit(
+                time, "health", quarantined=quarantined, suspicion=suspicion
             )
 
     def traffic_totals(self, report: Any) -> None:

@@ -2,13 +2,14 @@
 
 from repro.routing.connectivity import connectivity_fraction, walk_to_gateway
 from repro.routing.packets import DeliveryStats, PacketSimulator
-from repro.routing.table import RouteEntry, RoutingTable, TableBank
+from repro.routing.table import RouteEntry, RoutingTable, TableBank, TableGuard
 from repro.routing.world import RoutingResult, RoutingWorld, RoutingWorldConfig
 
 __all__ = [
     "RouteEntry",
     "RoutingTable",
     "TableBank",
+    "TableGuard",
     "connectivity_fraction",
     "walk_to_gateway",
     "RoutingWorld",

@@ -30,7 +30,45 @@ from typing import Dict, List, Optional
 from repro.errors import RoutingError
 from repro.types import NodeId, Time
 
-__all__ = ["RouteEntry", "RoutingTable", "TableBank"]
+__all__ = ["RouteEntry", "TableGuard", "RoutingTable", "TableBank"]
+
+
+@dataclass(frozen=True)
+class TableGuard:
+    """Write-sanity bounds limiting what one agent visit can install.
+
+    A corrupted agent forges attractive knowledge two ways: hop counts
+    far better than anything the node has seen (so its route wins the
+    preference order), and sequence numbers stamped ahead of the clock
+    (so honest refreshes are rejected by the floor for a long time).
+    The guard bounds both:
+
+    * ``max_hop_improvement`` — a new entry may undercut the incumbent
+      toward the same gateway by at most this many hops; honest route
+      discovery shortens paths gradually, forgery jumps.  The default
+      is deliberately loose — mobility legitimately shortens a route by
+      several hops when a gateway wanders close, and measurement shows
+      tighter bounds mostly reject honest refreshes (the future-stamped
+      sequence is what actually identifies every forged write).
+    * ``max_sequence_ahead`` — an entry's sequence (the claimed
+      gateway-sighting time) may exceed its installation time by at most
+      this much; honest sightings are always in the past.
+
+    Frozen and hashable so it rides inside the frozen world configs.
+    """
+
+    max_hop_improvement: int = 6
+    max_sequence_ahead: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_hop_improvement < 1:
+            raise RoutingError(
+                f"max_hop_improvement must be >= 1, got {self.max_hop_improvement}"
+            )
+        if self.max_sequence_ahead < 0:
+            raise RoutingError(
+                f"max_sequence_ahead must be >= 0, got {self.max_sequence_ahead}"
+            )
 
 
 @dataclass(frozen=True)
@@ -69,10 +107,17 @@ class RouteEntry:
 class RoutingTable:
     """A node's routes, at most one (the best) per gateway."""
 
-    def __init__(self, ttl: Optional[int] = None) -> None:
+    def __init__(
+        self, ttl: Optional[int] = None, guard: Optional[TableGuard] = None
+    ) -> None:
         if ttl is not None and ttl < 1:
             raise RoutingError(f"ttl must be >= 1 or None, got {ttl}")
         self.ttl = ttl
+        self.guard = guard
+        #: writes the guard refused, monotonic over the table's life
+        #: (never reset by :meth:`clear` — conservation against the
+        #: worlds' overhead counters depends on it).
+        self.guard_rejections = 0
         self._entries: Dict[NodeId, RouteEntry] = {}
         #: per-gateway high-water mark of accepted sequence numbers;
         #: survives TTL expiry so resurrection of stale routes is barred.
@@ -108,6 +153,20 @@ class RoutingTable:
         if entry.sequence < self._sequence_floors.get(entry.gateway, 0):
             return False
         current = self._entries.get(entry.gateway)
+        guard = self.guard
+        if guard is not None:
+            # Worlds stamp installed_at with the current step, so a
+            # sequence past installed_at claims a gateway sighting in
+            # the future — only a forger can produce one.
+            if entry.sequence - entry.installed_at > guard.max_sequence_ahead:
+                self.guard_rejections += 1
+                return False
+            if (
+                current is not None
+                and current.hops - entry.hops > guard.max_hop_improvement
+            ):
+                self.guard_rejections += 1
+                return False
         if current is None or entry.fresher_than(current):
             self._entries[entry.gateway] = entry
             self._sequence_floors[entry.gateway] = entry.sequence
@@ -270,11 +329,19 @@ class TableBank:
     the packet simulator.
     """
 
-    def __init__(self, node_count: int, ttl: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        node_count: int,
+        ttl: Optional[int] = None,
+        guard: Optional[TableGuard] = None,
+    ) -> None:
         if node_count < 1:
             raise RoutingError(f"node_count must be >= 1, got {node_count}")
         self.ttl = ttl
-        self._tables: List[RoutingTable] = [RoutingTable(ttl) for __ in range(node_count)]
+        self.guard = guard
+        self._tables: List[RoutingTable] = [
+            RoutingTable(ttl, guard) for __ in range(node_count)
+        ]
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -322,3 +389,7 @@ class TableBank:
     def total_entries(self) -> int:
         """Total live entries across all tables (diagnostics)."""
         return sum(len(table) for table in self._tables)
+
+    def total_guard_rejections(self) -> int:
+        """Writes the guards refused, bank-wide (conservation checks)."""
+        return sum(table.guard_rejections for table in self._tables)

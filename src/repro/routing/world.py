@@ -33,6 +33,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.metrics import ResilienceReport, ResilienceTracker
 from repro.faults.plan import FaultPlan
 from repro.net.channel import ChannelConfig, ChannelModel
+from repro.net.health import HealthConfig, HealthMonitor, HealthReport
 from repro.net.topology import Topology
 from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
 from repro.routing.connectivity import (
@@ -41,7 +42,7 @@ from repro.routing.connectivity import (
     connectivity_fraction,
 )
 from repro.core.pheromone import PheromoneField
-from repro.routing.table import RouteEntry, TableBank
+from repro.routing.table import RouteEntry, TableBank, TableGuard
 from repro.rng import SeedSpawner
 from repro.sim.engine import TimeStepEngine
 from repro.sim.invariants import InvariantChecker, default_invariants_enabled
@@ -49,6 +50,12 @@ from repro.traffic.plane import TrafficConfig, TrafficPlane, TrafficReport
 from repro.types import NodeId, Time
 
 __all__ = ["RoutingWorldConfig", "RoutingResult", "RoutingWorld", "run_routing"]
+
+#: How far ahead of the clock a corrupted agent stamps its forged
+#: sequence numbers — "stale-but-renumbered" knowledge that, undefended,
+#: raises the per-gateway floors and blocks honest refreshes for this
+#: many steps.  The table guard's future-sequence check rejects it.
+_FORGED_SEQUENCE_AHEAD = 50
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,15 @@ class RoutingWorldConfig:
     # --- lossy channel -------------------------------------------------
     #: ``None`` means a lossless channel (identical to ``ChannelConfig()``).
     channel: Optional[ChannelConfig] = None
+    # --- adversarial resilience -----------------------------------------
+    #: ``None`` (default) attaches no health monitor — next-hop choice
+    #: and custody transfer never consult quarantine state; a
+    #: :class:`~repro.net.health.HealthConfig` switches the defense on.
+    health: Optional[HealthConfig] = None
+    #: ``None`` (default) leaves table writes unguarded; a
+    #: :class:`~repro.routing.table.TableGuard` bounds how much one
+    #: agent visit can move an entry (sequence + hop-delta sanity).
+    table_guard: Optional[TableGuard] = None
     # --- runtime invariant checking -------------------------------------
     #: ``None`` defers to the ``REPRO_CHECK_INVARIANTS`` environment
     #: variable (tests switch it on); ``True``/``False`` force it.
@@ -119,9 +135,12 @@ class RoutingResult:
     converged_after: Time = 150
     meetings: int = 0
     overhead: Dict[str, float] = field(default_factory=dict)
+    #: raw table-guard rejection count (``overhead`` is per-decision).
+    guard_rejections: int = 0
     resilience: Optional[ResilienceReport] = None
     obs: Optional[ObsReport] = None
     traffic: Optional[TrafficReport] = None
+    health: Optional[HealthReport] = None
 
     @property
     def mean_connectivity(self) -> float:
@@ -163,7 +182,9 @@ class RoutingWorld:
         self.config = config
         self._spawner = SeedSpawner(seed).child("routing")
         self.engine = TimeStepEngine()
-        self.tables = TableBank(topology.node_count, ttl=config.route_ttl)
+        self.tables = TableBank(
+            topology.node_count, ttl=config.route_ttl, guard=config.table_guard
+        )
         self.field = StigmergyField(
             capacity=config.footprint_capacity,
             freshness=config.footprint_freshness,
@@ -175,6 +196,11 @@ class RoutingWorld:
             self._spawner.seed_for("channel"),
         )
         self._migration = ReliableMigration(self.channel)
+        # Health monitoring is strictly opt-in: with health unset nothing
+        # is built and the hot loop takes only `is None` branches.
+        self.health: Optional[HealthMonitor] = None
+        if config.health is not None:
+            self.health = HealthMonitor(config.health, self.engine.hooks)
         self.agents: List[RoutingAgent] = self._spawn_agents()
         self.pheromone: Optional[PheromoneField] = None
         ants = [agent for agent in self.agents if isinstance(agent, AntRoutingAgent)]
@@ -235,6 +261,7 @@ class RoutingWorld:
                 channel=self.channel,
                 tables=self.tables,
                 obs=self._obs,
+                health=self.health,
             )
             self.traffic.install(self.engine)
 
@@ -291,6 +318,8 @@ class RoutingWorld:
         self.tables.expire_all(now)
         if self.pheromone is not None:
             self.pheromone.evaporate()
+        if self.health is not None:
+            self.health.advance(now)
         if profiler is not None:
             phase_started = profiler.lap("decay", phase_started)
         agents = self._active_agents()
@@ -305,6 +334,10 @@ class RoutingWorld:
                 agent, now, neighbors
             )
             if needs_decision:
+                if self.health is not None:
+                    neighbors = self.health.filter_targets(
+                        agent.location, neighbors
+                    )
                 decisions.append(agent.decide(neighbors, now, field=self.field))
                 footprint_due.append(True)
             else:
@@ -336,6 +369,13 @@ class RoutingWorld:
                 moves.append((agent, target))
         step_installs = 0
         for agent, target in moves:
+            # Agent hops are control-plane traffic and deliberately feed
+            # no evidence into the health monitor: a gray-failed node
+            # relays agents perfectly well, and counting those successes
+            # would launder its reputation back above the quarantine
+            # threshold while it keeps swallowing payloads.  Data-plane
+            # outcomes (payload + ack) observed by the traffic routers
+            # are the only suspicion signal here.
             outcome = self._migration.attempt_hop(agent, target, now)
             if outcome != DELIVERED:
                 agent.stay(now, here_is_gateway=agent.location in live_gateways)
@@ -350,9 +390,25 @@ class RoutingWorld:
                     "agent_moved", time=now, agent=agent.agent_id, to=target
                 )
             table = self.tables.table(agent.location)
+            corrupted = self.injector is not None and self.injector.is_corrupted(
+                agent.agent_id
+            )
+            rejected_before = table.guard_rejections
             for gateway, next_hop, hops, seen_at in agent.installable_routes(came_from):
                 agent.overhead.routes_installed += 1
                 step_installs += 1
+                if corrupted:
+                    # Forged knowledge — a sinkhole: a one-hop route
+                    # pointing back where the agent came from, with a
+                    # sequence stamped ahead of the clock so undefended
+                    # tables prefer it and floor out honest refreshes.
+                    # Pairing it with the reverse link turns the poison
+                    # into forwarding loops instead of a merely-wrong
+                    # hop count.
+                    hops = 1
+                    seen_at = now + _FORGED_SEQUENCE_AHEAD
+                    if came_from is not None:
+                        next_hop = came_from
                 table.install(
                     RouteEntry(
                         gateway=gateway,
@@ -363,6 +419,9 @@ class RoutingWorld:
                         sequence=seen_at,
                     )
                 )
+            agent.overhead.routes_rejected += (
+                table.guard_rejections - rejected_before
+            )
         if profiler is not None:
             phase_started = profiler.lap("move", phase_started)
         if self._obs is not None:
@@ -370,6 +429,12 @@ class RoutingWorld:
             losses = self.channel.stats.losses
             self._obs.channel_losses(now, losses - self._obs_last_losses)
             self._obs_last_losses = losses
+            if self.health is not None:
+                self._obs.health_step(
+                    now,
+                    self.health.quarantined_count(),
+                    self.health.max_suspicion(),
+                )
         # Metric.
         if self._conn_cache is not None:
             fraction = len(self._conn_cache.connected()) / topology.node_count
@@ -437,6 +502,7 @@ class RoutingWorld:
         steps = self.engine.run(self.config.total_steps)
         team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
         self.result.overhead = team_overhead.per_decision()
+        self.result.guard_rejections = self.tables.total_guard_rejections()
         agents_total = agents_alive = len(self.agents)
         if self.resilience is not None and self.injector is not None:
             agents_total, agents_alive = self.injector.resilience_counts()
@@ -445,6 +511,8 @@ class RoutingWorld:
             self.result.traffic = self.traffic.report()
             if self._obs is not None:
                 self._obs.traffic_totals(self.result.traffic)
+        if self.health is not None:
+            self.result.health = self.health.report()
         if self._obs is not None:
             self.result.obs = self._obs.finalize(
                 overhead=team_overhead,

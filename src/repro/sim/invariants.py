@@ -109,6 +109,8 @@ class InvariantChecker:
         self._scan_topology(problems, node_ids, down)
         self._scan_traffic(problems)
         self._scan_engine(problems)
+        self._scan_health(problems, node_ids, down)
+        self._scan_guard(problems)
         return problems
 
     def _acting_agents(self) -> List[Any]:
@@ -198,6 +200,52 @@ class InvariantChecker:
         if plane is None:
             return
         problems.extend(plane.consistency_problems())
+
+    def _scan_health(self, problems: List[str], node_ids, down) -> None:
+        """Quarantine must never partition a healthy graph.
+
+        For every live node that has at least one live out-neighbor,
+        :meth:`~repro.net.health.HealthMonitor.filter_targets` must
+        return a non-empty candidate list — the never-isolate fallback
+        is a hard contract, not a best effort.
+        """
+        health = getattr(self.world, "health", None)
+        if health is None:
+            return
+        topology = self.world.topology
+        for node in sorted(node_ids):
+            if node in down:
+                continue
+            neighbors = [
+                n for n in topology.out_neighbors(node) if n not in down
+            ]
+            if not neighbors:
+                continue
+            if not health.filter_targets(node, neighbors):
+                problems.append(
+                    f"quarantine isolates node {node}: all {len(neighbors)} "
+                    "live neighbors filtered out"
+                )
+
+    def _scan_guard(self, problems: List[str]) -> None:
+        """Guard rejections must be conserved in the overhead meters.
+
+        Every install the table guard refuses is charged to the visiting
+        agent's ``routes_rejected`` counter; the world-wide sums must
+        agree or rejections are being dropped from the overhead story.
+        """
+        tables = getattr(self.world, "tables", None)
+        if tables is None or getattr(tables, "guard", None) is None:
+            return
+        table_total = tables.total_guard_rejections()
+        agent_total = sum(
+            agent.overhead.routes_rejected for agent in self.world.agents
+        )
+        if table_total != agent_total:
+            problems.append(
+                f"guard rejections not conserved: tables count {table_total}, "
+                f"agent overhead counts {agent_total}"
+            )
 
     def _scan_engine(self, problems: List[str]) -> None:
         """The incremental topology engine's own consistency report.

@@ -103,6 +103,8 @@ class TrafficConfig:
     max_retransmit: int = 3
     #: first retry waits this many steps; each further retry doubles it.
     backoff_base: int = 1
+    #: longest wait between retransmissions (clamps the exponential).
+    backoff_cap: int = 64
     #: custody/spray transfer attempts per node per step.
     forward_budget: int = 4
     #: epidemic replications per node per step.
@@ -139,6 +141,7 @@ class TrafficConfig:
             "queue_capacity",
             "payload_ttl",
             "backoff_base",
+            "backoff_cap",
             "forward_budget",
             "epidemic_fanout",
             "spray_copies",
@@ -243,11 +246,16 @@ class TrafficPlane:
         tables: Any = None,
         obs: Any = None,
         unicast: bool = False,
+        health: Any = None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.channel = channel
         self.tables = tables
+        #: the world's :class:`~repro.net.health.HealthMonitor` (or
+        #: ``None``): routers exclude quarantined neighbors from custody
+        #: transfer and replication, and feed ack outcomes back in.
+        self.health = health
         self.ledger = TrafficLedger()
         self.counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
         self._queues: Dict[NodeId, PayloadQueue] = {}
@@ -530,6 +538,7 @@ def parse_traffic_spec(spec: str) -> TrafficConfig:
         "max_retransmit": "max_retransmit",
         "backoff": "backoff_base",
         "backoff_base": "backoff_base",
+        "backoff_cap": "backoff_cap",
         "budget": "forward_budget",
         "forward_budget": "forward_budget",
         "fanout": "epidemic_fanout",

@@ -101,6 +101,20 @@ class TrafficRouter:
             if not topology.is_down(neighbor)
         )
 
+    def _usable_neighbors(
+        self, node: NodeId, neighbors: List[NodeId]
+    ) -> List[NodeId]:
+        """``neighbors`` minus quarantined ones (identity with no monitor).
+
+        The monitor's filter falls back to the full list rather than
+        return empty, so quarantine degrades preference without ever
+        stranding a payload with zero candidates.
+        """
+        health = self.plane.health
+        if health is None:
+            return neighbors
+        return health.filter_targets(node, neighbors)
+
     def _delivery_neighbor(
         self, neighbors: List[NodeId], payload: Payload
     ) -> Optional[NodeId]:
@@ -137,13 +151,18 @@ class StoreAndForwardRouter(TrafficRouter):
         plane = self.plane
         config = plane.config
         budget = config.forward_budget
-        neighbors = self._live_neighbors(node)
+        live = self._live_neighbors(node)
+        # Quarantine is a preference, not a wall: targets resolve from
+        # the usable list first and fall back to the full live list when
+        # that yields nothing — blocking the only route toward a gateway
+        # would strand custody worse than a lossy link does.
+        usable = self._usable_neighbors(node, live)
         for copy in copies:
             if budget <= 0:
                 break
             if not self._still_held(node, copy):
                 continue
-            target = self._resolve_target(node, copy, neighbors, now)
+            target = self._resolve_target(node, copy, usable, live, now)
             if target is None:
                 continue  # custody fallback: keep buffering
             budget -= 1
@@ -154,6 +173,11 @@ class StoreAndForwardRouter(TrafficRouter):
             ack_ok = data_ok and plane.attempt(
                 target, node, now, f"payack:{target}:{pid}"
             )
+            if plane.health is not None:
+                # The missing ack is the sender's only evidence — a gray
+                # receiver that swallows data and a dead link look alike,
+                # and both belong in the quality estimate.
+                plane.health.observe(node, target, data_ok and ack_ok, now)
             if data_ok and ack_ok:
                 self._complete_transfer(node, target, copy, now)
             else:
@@ -163,22 +187,52 @@ class StoreAndForwardRouter(TrafficRouter):
         self,
         node: NodeId,
         copy: PayloadCopy,
-        neighbors: List[NodeId],
+        usable: List[NodeId],
+        live: List[NodeId],
         now: Time,
     ) -> Optional[NodeId]:
         """Where this copy goes this step — or ``None`` to keep buffering."""
         if copy.in_flight:
-            if copy.pending_target in neighbors:
+            if copy.pending_target in live:
+                # An in-flight attempt keeps its target even if the hop
+                # was quarantined since the last try: the retry budget is
+                # nearly spent, abandoning it re-pays the whole backoff
+                # ladder elsewhere, and measurements show the churn costs
+                # more TTL than the suspect link does.  Quarantine shapes
+                # *fresh* target choices only.
                 if now < copy.retry_at:
                     return None  # backing off toward the same next hop
                 return copy.pending_target
-            # The pending next hop left radio range or died: re-route.
-            copy.reset_pending()
-            self.plane.counters["reroutes"] += 1
-        direct = self._delivery_neighbor(neighbors, copy.payload)
+            else:
+                # The pending next hop left radio range or died: re-route.
+                copy.reset_pending()
+                self.plane.counters["reroutes"] += 1
+        return self._fresh_target(node, copy, usable, live)
+
+    def _fresh_target(
+        self,
+        node: NodeId,
+        copy: PayloadCopy,
+        usable: List[NodeId],
+        live: List[NodeId],
+    ) -> Optional[NodeId]:
+        """Pick a next hop, preferring non-quarantined neighbors.
+
+        Each decision tries the usable list first and falls back to the
+        full live list only when the usable one yields nothing — so a
+        partially-quarantined neighborhood routes around the suspects,
+        while a route reachable *only* through a suspect is still tried
+        (a 10%-success link beats buffering until the TTL burns out).
+        """
+        direct = self._delivery_neighbor(usable, copy.payload)
+        if direct is None and usable is not live:
+            direct = self._delivery_neighbor(live, copy.payload)
         if direct is not None:
             return direct
-        return self._table_next_hop(node, neighbors, copy.payload)
+        target = self._table_next_hop(node, usable, copy.payload)
+        if target is None and usable is not live:
+            target = self._table_next_hop(node, live, copy.payload)
+        return target
 
     def _complete_transfer(
         self, node: NodeId, target: NodeId, copy: PayloadCopy, now: Time
@@ -219,7 +273,9 @@ class StoreAndForwardRouter(TrafficRouter):
             copy.reset_pending()  # abandon this next hop; re-route next step
             self.plane.counters["abandons"] += 1
             return
-        copy.retry_at = now + config.backoff_base * 2 ** (copy.failures - 1)
+        copy.retry_at = now + min(
+            config.backoff_cap, config.backoff_base * 2 ** (copy.failures - 1)
+        )
 
 
 class _ReplicationRouter(TrafficRouter):
@@ -299,12 +355,16 @@ class EpidemicRouter(_ReplicationRouter):
     def _handle_copy(
         self, node: NodeId, copy: PayloadCopy, now: Time, budget: int
     ) -> int:
-        neighbors = self._live_neighbors(node)
-        direct = self._delivery_neighbor(neighbors, copy.payload)
+        live = self._live_neighbors(node)
+        neighbors = self._usable_neighbors(node, live)
+        direct = self._delivery_neighbor(live, copy.payload)
         if direct is not None:
             budget -= 1
             self._try_direct_delivery(node, copy, now, direct)
             return budget
+        # Replicas go to non-quarantined neighbors only: a copy parked
+        # on a gray node is a wasted transmission, and replication keeps
+        # the original, so skipping suspects costs nothing.
         for target in neighbors:
             if budget <= 0:
                 break
@@ -327,8 +387,9 @@ class SprayAndWaitRouter(_ReplicationRouter):
     def _handle_copy(
         self, node: NodeId, copy: PayloadCopy, now: Time, budget: int
     ) -> int:
-        neighbors = self._live_neighbors(node)
-        direct = self._delivery_neighbor(neighbors, copy.payload)
+        live = self._live_neighbors(node)
+        neighbors = self._usable_neighbors(node, live)
+        direct = self._delivery_neighbor(live, copy.payload)
         if direct is not None:
             budget -= 1
             self._try_direct_delivery(node, copy, now, direct)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.net.channel import (
+    GRAY_KINDS,
     BatteryLoss,
     ChannelConfig,
     ChannelModel,
@@ -227,3 +228,101 @@ class TestParseChannelSpec:
     def test_out_of_range_value_raises(self):
         with pytest.raises(ConfigurationError):
             parse_channel_spec("1.2")
+
+
+class TestLossPolicyEdgeCases:
+    def test_composite_clamps_at_certain_loss(self):
+        topology = line3()
+        a, b = topology.node(0), topology.node(1)
+        policy = CompositeLoss([FixedLoss(1.0), FixedLoss(0.5)])
+        assert policy.loss_probability(a, b) == pytest.approx(1.0)
+
+    def test_composite_of_nothing_is_lossless(self):
+        topology = line3()
+        a, b = topology.node(0), topology.node(1)
+        assert CompositeLoss([]).loss_probability(a, b) == 0.0
+
+    def test_distance_loss_zero_distance_is_safe(self):
+        # Two nodes at the same point: a target at the sender's feet
+        # never loses to distance, whatever the exponent.
+        source = Node(0, Point(3.0, 4.0), FixedRange(10.0))
+        destination = Node(1, Point(3.0, 4.0), FixedRange(10.0))
+        for exponent in (0.5, 1.0, 2.0):
+            policy = DistanceLoss(0.9, exponent=exponent)
+            assert policy.loss_probability(source, destination) == 0.0
+
+    def test_battery_loss_total_factor_on_dead_battery(self):
+        topology = line3()
+        source, destination = topology.node(0), topology.node(1)
+        source.battery.shock(1.0)
+        assert source.battery.level == 0.0
+        assert BatteryLoss(1.0).loss_probability(source, destination) == 1.0
+        assert BatteryLoss(0.4).loss_probability(
+            source, destination
+        ) == pytest.approx(0.4)
+
+
+class TestGrayFailures:
+    def test_rate_validation(self):
+        channel = ChannelModel(line3(), ChannelConfig(), seed=7)
+        for rate in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                channel.set_grayfail(1, rate)
+
+    def test_set_and_clear_report_state_changes(self):
+        channel = ChannelModel(line3(), ChannelConfig(), seed=7)
+        assert channel.set_grayfail(1, 0.9)
+        assert not channel.set_grayfail(1, 0.9)  # idempotent re-apply
+        assert channel.set_grayfail(1, 0.5)  # rate change counts
+        assert channel.active_grayfails == {1: 0.5}
+        assert channel.clear_grayfail(1)
+        assert not channel.clear_grayfail(1)
+        assert channel.active_grayfails == {}
+
+    def test_gray_composes_on_the_receiving_side(self):
+        channel = ChannelModel(line3(), ChannelConfig(loss=0.5), seed=7)
+        channel.set_grayfail(1, 0.5)
+        # Independent terms: 1 - 0.5 * 0.5 toward the gray node...
+        assert channel.loss_probability(0, 1, "pay") == pytest.approx(0.75)
+        # ...but only the base loss when the gray node is the sender.
+        assert channel.loss_probability(1, 0, "pay") == pytest.approx(0.5)
+
+    def test_gray_only_affects_data_plane_kinds(self):
+        channel = ChannelModel(line3(), ChannelConfig(), seed=7)
+        channel.set_grayfail(1, 1.0)
+        for kind in sorted(GRAY_KINDS):
+            assert channel.loss_probability(0, 1, kind) == 1.0
+        # Control plane — agent hops, meetings, acks — sails through:
+        # that selective honesty is what makes the failure gray.
+        for kind in ("hop", "meet", "payack", ""):
+            assert channel.loss_probability(0, 1, kind) == 0.0
+
+    def test_gray_node_swallows_payload_attempts(self):
+        channel = ChannelModel(line3(), ChannelConfig(), seed=7)
+        channel.set_grayfail(1, 1.0)
+        assert not any(
+            channel.attempt(0, 1, now, f"pay:{now}") for now in range(20)
+        )
+        assert all(
+            channel.attempt(0, 1, now, f"hop:{now}") for now in range(20)
+        )
+        assert channel.stats.losses_by_kind == {"pay": 20}
+
+    def test_gray_defeats_the_lossless_fast_path(self):
+        # A lossless config normally short-circuits attempt(); an active
+        # gray failure must still be consulted.
+        channel = ChannelModel(line3(), ChannelConfig(), seed=7)
+        assert channel.attempt(0, 1, 1, "pay:a")
+        channel.set_grayfail(1, 1.0)
+        assert not channel.attempt(0, 1, 2, "pay:b")
+        channel.clear_grayfail(1)
+        assert channel.attempt(0, 1, 3, "pay:c")
+
+    def test_attempts_are_deterministic_per_seed(self):
+        def outcomes(seed):
+            channel = ChannelModel(line3(), ChannelConfig(), seed=seed)
+            channel.set_grayfail(1, 0.6)
+            return [channel.attempt(0, 1, now, f"pay:{now}") for now in range(30)]
+
+        assert outcomes(7) == outcomes(7)
+        assert outcomes(7) != outcomes(8)

@@ -8,8 +8,10 @@ from repro.errors import ConfigurationError
 from repro.faults.plan import (
     AGENT_POLICIES,
     FAULT_KINDS,
+    AdversarySpec,
     FaultEvent,
     FaultPlan,
+    parse_adversary_spec,
     parse_fault_plan,
 )
 
@@ -71,6 +73,10 @@ class TestFaultPlan:
             .corrupt_table(16, 3)
             .loss_burst(17, 4, 0.5)
             .loss_clear(18, 4)
+            .gray_failure(19, 5, rate=0.9)
+            .gray_clear(20, 5)
+            .flap_node(21, 6)
+            .corrupt_agent(22, 1)
         )
         assert {e.kind for e in plan.events} == FAULT_KINDS
 
@@ -184,3 +190,143 @@ class TestRandomChurn:
                 1, node_count=9, start=5, end=10, crashes=1,
                 min_downtime=4, max_downtime=2,
             )
+
+
+class TestAdversaryEvents:
+    def test_grayfail_needs_a_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "grayfail", (1,), amount=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "grayfail", (1,), amount=1.5)
+
+    def test_grayfail_builder(self):
+        plan = FaultPlan().gray_failure(10, 3, rate=0.9).gray_clear(40, 3)
+        kinds = [event.kind for event in plan.events]
+        assert kinds == ["grayfail", "grayclear"]
+        assert plan.events[0].amount == 0.9
+
+    def test_flap_validation(self):
+        with pytest.raises(ConfigurationError, match="duty"):
+            FaultEvent(5, "flap", (1,), amount=0.0, period=8, cycles=3)
+        with pytest.raises(ConfigurationError, match="period"):
+            FaultEvent(5, "flap", (1,), amount=0.5, period=1, cycles=3)
+        with pytest.raises(ConfigurationError, match="cycles"):
+            FaultEvent(5, "flap", (1,), amount=0.5, period=8, cycles=0)
+        with pytest.raises(ConfigurationError, match="target"):
+            FaultEvent(5, "flap", (1, 2, 3), amount=0.5, period=8, cycles=3)
+
+    def test_period_and_cycles_rejected_off_flap(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(5, "crash", (1,), period=8)
+
+    def test_corruptagent_is_an_agent_fault(self):
+        event = FaultPlan().corrupt_agent(25, 3).events[0]
+        assert event.describe() == "corruptagent@25:a3"
+        with pytest.raises(ConfigurationError):
+            FaultEvent(25, "corruptagent", (3,), gateway_relative=True)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "grayfail@30:5:0.9",
+            "grayclear@60:5",
+            "grayfail@30:gw0:0.5",
+            "flap@30:5:0.5:8:3",
+            "flap@30:2-7:0.5:8:3",
+            "corruptagent@25:a3",
+        ],
+    )
+    def test_spec_round_trips(self, spec):
+        plan = parse_fault_plan(spec)
+        assert len(plan) == 1
+        assert plan.events[0].describe() == spec
+        assert parse_fault_plan(plan.describe()).events == plan.events
+
+    def test_gateway_relative_grayfail(self):
+        event = parse_fault_plan("grayfail@30:gw1:0.9").events[0]
+        assert event.gateway_relative
+        assert event.target == (1,)
+
+
+class TestRandomAdversary:
+    def build(self, seed=7, **overrides):
+        kwargs = dict(
+            node_count=30,
+            gray_fraction=0.2,
+            gray_rate=0.9,
+            corrupt_agents=3,
+            population=10,
+            exclude=(0, 1),
+            name="adversary:test",
+        )
+        kwargs.update(overrides)
+        return FaultPlan.random_adversary(seed, **kwargs)
+
+    def test_deterministic_per_seed(self):
+        assert self.build().events == self.build().events
+        assert self.build(seed=8).events != self.build().events
+
+    def test_name_splits_the_stream(self):
+        assert (
+            self.build(name="adversary:a").events
+            != self.build(name="adversary:b").events
+        )
+
+    def test_counts_and_exclusions(self):
+        plan = self.build()
+        gray = [e for e in plan.events if e.kind == "grayfail"]
+        corrupt = [e for e in plan.events if e.kind == "corruptagent"]
+        # 20% of the 28 eligible nodes, rounded.
+        assert len(gray) == 6
+        assert len(corrupt) == 3
+        assert len({e.target[0] for e in gray}) == len(gray)
+        assert all(e.target[0] not in (0, 1) for e in gray)
+        assert all(e.target[0] < 10 for e in corrupt)
+
+    def test_flap_nodes_are_distinct_from_gray(self):
+        plan = self.build(flap_nodes=4)
+        gray = {e.target[0] for e in plan.events if e.kind == "grayfail"}
+        flap = {e.target[0] for e in plan.events if e.kind == "flap"}
+        assert not gray & flap
+        assert len(flap) == 4
+
+    def test_agent_policy_defaults_to_freeze(self):
+        assert self.build().agent_policy == "freeze"
+
+    def test_corrupting_more_agents_than_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.build(corrupt_agents=11)
+
+    def test_too_many_victims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.build(gray_fraction=1.0, flap_nodes=5)
+
+
+class TestAdversarySpec:
+    def test_bare_number_is_a_gray_fraction(self):
+        spec = parse_adversary_spec("0.2")
+        assert spec == AdversarySpec(gray_fraction=0.2)
+
+    def test_long_form(self):
+        spec = parse_adversary_spec("gray=0.3,rate=0.8,corrupt=2,flap=1,start=5")
+        assert spec == AdversarySpec(
+            gray_fraction=0.3,
+            gray_rate=0.8,
+            corrupt_agents=2,
+            flap_nodes=1,
+            start=5,
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "gray", "meteor=1", "gray=lots", "1.5", "rate=0", "start=0"],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_adversary_spec(bad)
+
+    def test_spec_is_hashable_and_frozen(self):
+        spec = parse_adversary_spec("0.1")
+        hash(spec)
+        with pytest.raises(Exception):
+            spec.gray_fraction = 0.5

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RoutingError
-from repro.routing.table import RouteEntry, RoutingTable, TableBank
+from repro.routing.table import RouteEntry, RoutingTable, TableBank, TableGuard
 
 
 def entry(gateway=9, next_hop=1, hops=3, installed_at=10, seen_at=0, sequence=0):
@@ -220,3 +220,81 @@ class TestTableBank:
         bank.table(1).install(entry(installed_at=8))
         assert bank.expire_all(now=10) == 1
         assert bank.total_entries() == 1
+
+
+class TestTableGuard:
+    def guarded(self, **overrides):
+        return RoutingTable(guard=TableGuard(**overrides))
+
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            TableGuard(max_hop_improvement=0)
+        with pytest.raises(RoutingError):
+            TableGuard(max_sequence_ahead=-1)
+
+    def test_honest_install_accepted(self):
+        table = self.guarded()
+        # Sequence (the gateway sighting) in the past relative to the
+        # install: exactly what honest agent visits produce.
+        assert table.install(entry(installed_at=10, seen_at=8, sequence=8))
+        assert table.guard_rejections == 0
+
+    def test_future_stamped_sequence_rejected(self):
+        table = self.guarded()
+        forged = entry(installed_at=10, sequence=11)
+        assert not table.install(forged)
+        assert table.entry_for(9) is None
+        assert table.guard_rejections == 1
+
+    def test_sequence_ahead_bound_is_inclusive(self):
+        table = self.guarded(max_sequence_ahead=5)
+        assert table.install(entry(installed_at=10, sequence=15))
+        assert not table.install(entry(installed_at=10, sequence=16, hops=1))
+        assert table.guard_rejections == 1
+
+    def test_implausible_hop_improvement_rejected(self):
+        table = self.guarded(max_hop_improvement=2)
+        table.install(entry(hops=9, seen_at=5, sequence=5, installed_at=6))
+        forged = entry(hops=1, seen_at=6, sequence=6, installed_at=7)
+        assert not table.install(forged)
+        assert table.entry_for(9).hops == 9
+        assert table.guard_rejections == 1
+
+    def test_gradual_improvement_accepted(self):
+        table = self.guarded(max_hop_improvement=2)
+        table.install(entry(hops=9, seen_at=5, sequence=5, installed_at=6))
+        assert table.install(entry(hops=7, seen_at=6, sequence=6, installed_at=7))
+        assert table.entry_for(9).hops == 7
+        assert table.guard_rejections == 0
+
+    def test_hop_rule_needs_an_incumbent(self):
+        # A 1-hop route into an empty slot is fine: the hop rule bounds
+        # improvement over what the node already believes, not absolutes.
+        table = self.guarded(max_hop_improvement=1)
+        assert table.install(entry(hops=1, installed_at=10, seen_at=9, sequence=9))
+
+    def test_rejections_survive_clear(self):
+        table = self.guarded()
+        table.install(entry(installed_at=10, sequence=11))
+        table.clear()
+        table.install(entry(installed_at=12, sequence=20))
+        # Conservation against the world's overhead counters depends on
+        # the counter never resetting with the table.
+        assert table.guard_rejections == 2
+
+    def test_unguarded_table_installs_forged_writes(self):
+        table = RoutingTable()
+        assert table.install(entry(installed_at=10, sequence=11))
+        assert table.guard_rejections == 0
+
+    def test_bank_threads_guard_to_every_table(self):
+        bank = TableBank(3, guard=TableGuard())
+        forged = entry(installed_at=10, sequence=11)
+        for node in range(3):
+            assert not bank.table(node).install(forged)
+        assert bank.total_guard_rejections() == 3
+
+    def test_bank_without_guard_counts_zero(self):
+        bank = TableBank(2)
+        bank.table(0).install(entry(installed_at=10, sequence=11))
+        assert bank.total_guard_rejections() == 0
