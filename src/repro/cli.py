@@ -3,6 +3,7 @@
 Usage::
 
     repro list                         # show every registered experiment
+    repro list --json                  # machine-readable discovery
     repro run fig1                     # run at quick scale (seconds)
     repro run fig7 --paper-scale       # paper-scale parameters, 40 runs
     repro run all --paper-scale        # regenerate everything
@@ -10,12 +11,22 @@ Usage::
     repro run fig7 --json-dir results/json --svg-dir results/svg
     repro report results/json          # re-render archived reports
 
+Service layer (sweep specs through the async job queue)::
+
+    repro submit examples/specs/quick_smoke.json   # enqueue a sweep spec
+    repro jobs --json                  # inspect the queue
+    repro serve --workers 2            # drain the queue (resumable)
+    repro cancel j0001-94e0f1ee        # cancel queued now / running soon
+    repro export j0001-94e0f1ee --out bundle.tar.gz
+    repro calibrate spec.json --out baselines/pack.json
+
 ``python -m repro …`` is equivalent.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -38,7 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list registered experiments")
+    listing = commands.add_parser("list", help="list registered experiments")
+    listing.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable metadata (id, title, scenario, tiers)",
+    )
 
     run = commands.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id (fig1..fig11, ext1, abl1..) or 'all'")
@@ -212,6 +228,94 @@ def build_parser() -> argparse.ArgumentParser:
         "path", help="a report JSON file or a directory of them (from --json-dir)"
     )
     report.add_argument("--no-plot", action="store_true", help="omit ASCII charts")
+
+    def service_dir_arg(sub) -> None:
+        sub.add_argument(
+            "--service-dir",
+            metavar="DIR",
+            default=".repro-service",
+            help="service state directory (default .repro-service)",
+        )
+
+    submit = commands.add_parser(
+        "submit", help="enqueue a sweep spec file (JSON or YAML) as a job"
+    )
+    submit.add_argument("spec", help="path to the sweep spec")
+    service_dir_arg(submit)
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the spec's priority (higher runs first)",
+    )
+
+    jobs = commands.add_parser("jobs", help="show every job in the queue")
+    service_dir_arg(jobs)
+    jobs.add_argument(
+        "--json", action="store_true", help="emit machine-readable job records"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="drain the job queue with a bounded worker pool"
+    )
+    service_dir_arg(serve)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="how many jobs run concurrently (default 1)",
+    )
+    serve.add_argument(
+        "--forever",
+        action="store_true",
+        help="keep polling for new submissions after the queue drains",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a queued job now, or flag a running one to stop"
+    )
+    cancel.add_argument("job_id", help="job id from 'repro submit' / 'repro jobs'")
+    service_dir_arg(cancel)
+
+    requeue = commands.add_parser(
+        "requeue", help="put a failed or cancelled job back in the queue"
+    )
+    requeue.add_argument("job_id", help="job id from 'repro jobs'")
+    service_dir_arg(requeue)
+
+    export = commands.add_parser(
+        "export", help="package a finished job into a reproducible bundle"
+    )
+    export.add_argument("job_id", help="job id of a completed job")
+    service_dir_arg(export)
+    export.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="bundle destination (directory, or .tar.gz/.tgz for a tarball)",
+    )
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="run a spec directly and write its baseline pack (expected metrics)",
+    )
+    calibrate.add_argument("spec", help="path to the sweep spec")
+    calibrate.add_argument(
+        "--out", required=True, metavar="PACK", help="baseline pack JSON to write"
+    )
+    calibrate.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="T",
+        help="relative drift tolerance recorded in the pack (default 0.05)",
+    )
+    calibrate.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
     return parser
 
 
@@ -225,7 +329,14 @@ def _progress_printer(quiet: bool):
     return progress
 
 
-def _command_list() -> int:
+def _command_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        from repro.experiments.registry import experiments_metadata
+
+        print(json.dumps(experiments_metadata(), indent=2, sort_keys=True))
+        return 0
     for experiment in list_experiments():
         print(f"{experiment.experiment_id:6s}  [{experiment.scenario}]  {experiment.title}")
     return 0
@@ -372,14 +483,11 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    import pathlib
+    from repro.experiments.persistence import load_report, report_paths
 
-    from repro.experiments.persistence import load_report
-
-    target = pathlib.Path(args.path)
-    paths = sorted(target.glob("*.json")) if target.is_dir() else [target]
+    paths = report_paths(args.path)
     if not paths:
-        print(f"error: no reports found under {target}", file=sys.stderr)
+        print(f"error: no reports found under {args.path}", file=sys.stderr)
         return 1
     for path in paths:
         print(load_report(path).render(plots=not args.no_plot))
@@ -387,20 +495,168 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue, load_spec
+
+    spec = load_spec(args.spec)
+    job = JobQueue(args.service_dir).submit(spec, args.priority)
+    print(
+        f"queued {spec.name!r} as {job.job_id} "
+        f"(fingerprint {job.fingerprint}, priority {job.priority}, "
+        f"{len(spec.expand())} unit(s))",
+        file=sys.stderr,
+    )
+    print(job.job_id)
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue
+
+    queue = JobQueue(args.service_dir)
+    jobs = queue.jobs()
+    if args.json:
+        import json
+
+        print(json.dumps([job.to_dict() for job in jobs], indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs submitted yet")
+        return 0
+    header = f"{'job id':18s}  {'state':10s}  {'prio':>4s}  {'name':24s}  error"
+    print(header)
+    print("-" * len(header))
+    for job in jobs:
+        flag = " (cancel requested)" if job.cancel_requested else ""
+        error = (job.error or "")[:60]
+        print(
+            f"{job.job_id:18s}  {job.state + flag:10s}  {job.priority:4d}  "
+            f"{job.spec.get('name', ''):24s}  {error}"
+        )
+    return 0
+
+
+def _service_progress(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(label: str, scenario: str, done: int, total: int) -> None:
+        print(f"  [{label}/{scenario}] run {done}/{total}", file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService
+
+    service = ExperimentService(
+        args.service_dir,
+        workers=args.workers,
+        progress=_service_progress(args.quiet),
+    )
+    try:
+        counts = service.serve(forever=args.forever)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted; running jobs were journalled and will resume",
+              file=sys.stderr)
+        return 130
+    summary = ", ".join(f"{state}={n}" for state, n in counts.items() if n)
+    print(f"queue drained: {summary or 'empty'}")
+    failed = [job for job in service.queue.jobs() if job.state == "failed"]
+    for job in failed:
+        print(f"  {job.job_id} failed: {job.error}", file=sys.stderr)
+        for violation in job.drift:
+            print(f"    drift: {violation}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue
+
+    job = JobQueue(args.service_dir).request_cancel(args.job_id)
+    if job.state == "cancelled":
+        print(f"{job.job_id} cancelled")
+    else:
+        print(f"{job.job_id} is running; flagged to stop at the next task boundary")
+    return 0
+
+
+def _command_requeue(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue
+
+    job = JobQueue(args.service_dir).requeue(args.job_id)
+    print(f"{job.job_id} requeued (will resume from its checkpoints)")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.service import JobQueue, export_bundle
+
+    queue = JobQueue(args.service_dir)
+    job = queue.get(args.job_id)
+    if job.state != "done":
+        print(
+            f"warning: job {job.job_id} is {job.state}; bundling what exists",
+            file=sys.stderr,
+        )
+    job_dir = pathlib.Path(args.service_dir) / "jobs" / args.job_id
+    path = export_bundle(job_dir, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    import dataclasses
+    import tempfile
+
+    from repro.service import build_pack, execute_spec, load_spec, save_pack
+    from repro.service.baseline_pack import DEFAULT_TOLERANCE
+
+    spec = load_spec(args.spec)
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    with tempfile.TemporaryDirectory(prefix="repro-calibrate-") as scratch:
+        # Calibration *produces* the pack the spec may reference, so the
+        # drift check is skipped for this run.
+        reports, _ = execute_spec(
+            dataclasses.replace(spec, baseline_pack=None),
+            scratch,
+            progress=_service_progress(args.quiet),
+        )
+    pack = build_pack(spec.name, spec.fingerprint(), reports, tolerance)
+    path = save_pack(pack, args.out)
+    print(f"wrote {path} ({len(reports)} unit(s), tolerance {tolerance:g})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    handlers = {
+        "list": _command_list,
+        "run": _command_run,
+        "report": _command_report,
+        "submit": _command_submit,
+        "jobs": _command_jobs,
+        "serve": _command_serve,
+        "cancel": _command_cancel,
+        "requeue": _command_requeue,
+        "export": _command_export,
+        "calibrate": _command_calibrate,
+    }
     try:
-        if args.command == "list":
-            return _command_list()
-        if args.command == "run":
-            return _command_run(args)
-        if args.command == "report":
-            return _command_report(args)
+        handler = handlers.get(args.command)
+        if handler is not None:
+            return handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:  # e.g. `repro list --json | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

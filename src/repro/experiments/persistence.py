@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.series import TimeSeries
 from repro.analysis.svg_plot import svg_plot
@@ -35,6 +35,7 @@ __all__ = [
     "report_from_dict",
     "save_report",
     "load_report",
+    "report_paths",
     "save_svg",
     "mapping_result_to_dict",
     "mapping_result_from_dict",
@@ -107,6 +108,15 @@ def load_report(path: Union[str, pathlib.Path]) -> ExperimentReport:
     except (OSError, json.JSONDecodeError) as error:
         raise ExperimentError(f"cannot load report from {path}: {error}") from None
     return report_from_dict(payload)
+
+
+def report_paths(target: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """Every report JSON under ``target`` (a file, or a directory walked
+    recursively — service job directories nest reports per unit label)."""
+    target = pathlib.Path(target)
+    if target.is_dir():
+        return sorted(target.rglob("*.json"))
+    return [target]
 
 
 def save_svg(report: ExperimentReport, directory: Union[str, pathlib.Path]) -> Union[pathlib.Path, None]:
@@ -286,8 +296,16 @@ class SweepCheckpoint:
         return payload if isinstance(payload, dict) else None
 
     def _append(self, payload: dict) -> None:
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        with self.path.open("a+b") as handle:
+            # A torn trailing line (previous run killed mid-write) has no
+            # newline; seal it off so the new record starts a fresh line
+            # instead of merging with the garbage and being lost too.
+            handle.seek(0, 2)
+            if handle.tell() > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(json.dumps(payload, sort_keys=True).encode() + b"\n")
             handle.flush()
 
     def __contains__(self, key: Tuple[str, int]) -> bool:

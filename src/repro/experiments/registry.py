@@ -17,9 +17,19 @@ from repro.experiments.config import DEFAULT_MASTER_SEED, Scale
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ProgressCallback
 
-__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "SCALE_TIERS",
+    "get_experiment",
+    "list_experiments",
+    "experiments_metadata",
+]
 
 ExperimentFn = Callable[..., ExperimentReport]
+
+#: every scale tier a registered experiment can run at.
+SCALE_TIERS = ("quick", "paper")
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,15 @@ class Experiment:
     ) -> ExperimentReport:
         """Execute the experiment at ``scale`` and return its report."""
         return self.run_fn(scale, master_seed, progress)
+
+    def to_metadata(self) -> dict:
+        """The JSON-safe discovery record (``repro list --json``)."""
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "scenario": self.scenario,
+            "tiers": list(SCALE_TIERS),
+        }
 
 
 def _entry(experiment_id: str, title: str, scenario: str, fn: ExperimentFn) -> Experiment:
@@ -118,3 +137,12 @@ def list_experiments() -> List[Experiment]:
         return (prefix, int(digits) if digits else 0)
 
     return sorted(EXPERIMENTS.values(), key=key)
+
+
+def experiments_metadata() -> List[dict]:
+    """Machine-readable records for every experiment, in listing order.
+
+    This is what the service layer and external tooling consume to
+    discover scenarios without parsing ``repro list`` text.
+    """
+    return [experiment.to_metadata() for experiment in list_experiments()]

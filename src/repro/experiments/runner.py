@@ -36,6 +36,8 @@ The runner is hardened for paper-scale sweeps:
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import dataclasses
 import hashlib
 import multiprocessing
@@ -72,6 +74,9 @@ from repro.traffic.plane import TrafficConfig
 __all__ = [
     "MappingVariantResult",
     "RoutingVariantResult",
+    "RunDefaults",
+    "current_defaults",
+    "defaults_scope",
     "run_mapping_variants",
     "run_routing_variants",
     "clear_topology_cache",
@@ -180,67 +185,85 @@ ProgressCallback = Callable[[str, int, int], None]
 #: how often the pool loop checks for finished or overdue tasks.
 _POLL_INTERVAL = 0.02
 
-#: process-pool size used when a call does not pass ``workers`` —
-#: set by the CLI's ``--workers`` flag via :func:`set_default_workers`.
-_default_workers = 1
 
-#: fault plan applied to every variant that has none of its own —
-#: set by the CLI's ``--faults`` flag via :func:`set_default_fault_plan`.
-_default_fault_plan: Optional[FaultPlan] = None
+@dataclass
+class RunDefaults:
+    """Every run-shaping default a sweep call can inherit.
 
-#: channel config applied to every variant that has none of its own —
-#: set by the CLI's ``--loss``/``--hop-retries`` flags.
-_default_channel: Optional[ChannelConfig] = None
+    The module keeps one global instance that the ``set_default_*``
+    functions (the CLI flag plumbing) mutate, exactly as before.  The
+    experiment *service* instead builds a fresh instance per job and
+    activates it with :func:`defaults_scope`, so concurrent jobs each
+    see their own hermetic overlay set — scoped defaults replace (never
+    merge with) the global ones.
+    """
 
-#: route TTL forced onto every routing variant when set —
-#: set by the CLI's ``--route-ttl`` flag.
-_default_route_ttl: Optional[int] = None
+    #: process-pool size used when a call does not pass ``workers``.
+    workers: int = 1
+    #: fault plan applied to every variant that has none of its own.
+    fault_plan: Optional[FaultPlan] = None
+    #: channel config applied to every variant that has none of its own.
+    channel: Optional[ChannelConfig] = None
+    #: route TTL forced onto every routing variant when set.
+    route_ttl: Optional[int] = None
+    #: invariant-checking override for variants that leave it unset.
+    check_invariants: Optional[bool] = None
+    #: where sweep checkpoints live when a call passes none.
+    checkpoint_dir: Optional[pathlib.Path] = None
+    #: per-task deadline in seconds (``None`` = unlimited) and how many
+    #: retries a failed or overdue task gets before counting permanent.
+    task_timeout: Optional[float] = None
+    task_retries: int = 1
+    #: observability config applied to variants that carry none, and the
+    #: accumulator completed runs report into.
+    obs: Optional[ObsConfig] = None
+    obs_accumulator: Optional[ObsAccumulator] = None
+    #: traffic config applied to every variant that has none of its own.
+    traffic: Optional[TrafficConfig] = None
+    #: health-monitor config applied to variants that carry none.
+    health: Optional[HealthConfig] = None
+    #: table-write guard applied to routing variants that carry none.
+    table_guard: Optional[TableGuard] = None
+    #: adversary spec materialized into a seeded fault plan for variants
+    #: that carry no plan of their own.
+    adversary: Optional[AdversarySpec] = None
 
-#: invariant-checking override applied to variants that leave it unset —
-#: set by the CLI's ``--check-invariants`` flag.
-_default_check_invariants: Optional[bool] = None
 
-#: where sweep checkpoints live when a call does not pass
-#: ``checkpoint_dir`` — set by the CLI's ``--checkpoint-dir`` flag.
-_default_checkpoint_dir: Optional[pathlib.Path] = None
+#: the process-wide defaults the CLI flag setters mutate.
+_GLOBAL_DEFAULTS = RunDefaults()
 
-#: per-task deadline in seconds (``None`` = unlimited) and how many
-#: retries a failed or overdue task gets before counting as permanent.
-_default_task_timeout: Optional[float] = None
-_default_task_retries = 1
+#: a scoped replacement for the globals (see :func:`defaults_scope`).
+_SCOPED_DEFAULTS: "contextvars.ContextVar[Optional[RunDefaults]]" = (
+    contextvars.ContextVar("repro_run_defaults", default=None)
+)
 
-#: observability config applied to variants that carry none, and the
-#: accumulator completed runs report into — set by the CLI's
-#: ``--metrics-out``/``--trace-out``/``--profile`` flags.
-_default_obs: Optional[ObsConfig] = None
-_obs_accumulator: Optional[ObsAccumulator] = None
 
-#: traffic config applied to every variant that has none of its own —
-#: set by the CLI's ``--traffic``/``--queue-cap``/``--payload-ttl``/
-#: ``--router`` flags via :func:`set_default_traffic`.
-_default_traffic: Optional[TrafficConfig] = None
+def current_defaults() -> RunDefaults:
+    """The defaults active in this context (scoped if any, else global)."""
+    scoped = _SCOPED_DEFAULTS.get()
+    return scoped if scoped is not None else _GLOBAL_DEFAULTS
 
-#: health-monitor config applied to variants that carry none —
-#: set by the CLI's ``--quarantine`` flag via :func:`set_default_health`.
-_default_health: Optional[HealthConfig] = None
 
-#: table-write guard applied to routing variants that carry none —
-#: set by the CLI's ``--quarantine`` flag via
-#: :func:`set_default_table_guard`.
-_default_table_guard: Optional[TableGuard] = None
+@contextlib.contextmanager
+def defaults_scope(defaults: RunDefaults) -> Iterator[RunDefaults]:
+    """Activate ``defaults`` for the enclosed block (and this thread only).
 
-#: adversary spec materialized into a seeded fault plan for variants
-#: that carry no plan of their own — set by the CLI's ``--adversary``
-#: flag via :func:`set_default_adversary`.
-_default_adversary: Optional[AdversarySpec] = None
+    Backed by a :class:`contextvars.ContextVar`, so concurrent service
+    workers each scope their own job's overlays without touching the
+    globals the CLI flags set.
+    """
+    token = _SCOPED_DEFAULTS.set(defaults)
+    try:
+        yield defaults
+    finally:
+        _SCOPED_DEFAULTS.reset(token)
 
 
 def set_default_workers(workers: int) -> None:
     """Set the pool size used by runs that do not pass ``workers``."""
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    global _default_workers
-    _default_workers = workers
+    _GLOBAL_DEFAULTS.workers = workers
 
 
 def set_default_fault_plan(plan: Optional[FaultPlan]) -> None:
@@ -249,8 +272,7 @@ def set_default_fault_plan(plan: Optional[FaultPlan]) -> None:
     The CLI's ``repro run <fig> --faults PLAN`` routes through here so
     every registry experiment can be stressed without a bespoke flag.
     """
-    global _default_fault_plan
-    _default_fault_plan = plan
+    _GLOBAL_DEFAULTS.fault_plan = plan
 
 
 def set_default_channel(channel: Optional[ChannelConfig]) -> None:
@@ -259,28 +281,26 @@ def set_default_channel(channel: Optional[ChannelConfig]) -> None:
     The CLI's ``--loss``/``--hop-retries`` flags route through here so
     every registry experiment can be run over a lossy channel.
     """
-    global _default_channel
-    _default_channel = channel
+    _GLOBAL_DEFAULTS.channel = channel
 
 
 def set_default_route_ttl(ttl: Optional[int]) -> None:
     """Force a route TTL onto every routing variant (``None`` = leave be)."""
     if ttl is not None and ttl < 1:
         raise ConfigurationError(f"route ttl must be >= 1, got {ttl}")
-    global _default_route_ttl
-    _default_route_ttl = ttl
+    _GLOBAL_DEFAULTS.route_ttl = ttl
 
 
 def set_default_check_invariants(check: Optional[bool]) -> None:
     """Set the invariant-checking default for variants that leave it unset."""
-    global _default_check_invariants
-    _default_check_invariants = check
+    _GLOBAL_DEFAULTS.check_invariants = check
 
 
 def set_default_checkpoint_dir(directory: Union[str, pathlib.Path, None]) -> None:
     """Set the checkpoint directory used when a call passes none."""
-    global _default_checkpoint_dir
-    _default_checkpoint_dir = None if directory is None else pathlib.Path(directory)
+    _GLOBAL_DEFAULTS.checkpoint_dir = (
+        None if directory is None else pathlib.Path(directory)
+    )
 
 
 def set_default_obs(
@@ -294,9 +314,8 @@ def set_default_obs(
     write one merged metrics/trace artifact per invocation.  Passing
     ``(None, None)`` switches the subsystem back off.
     """
-    global _default_obs, _obs_accumulator
-    _default_obs = config
-    _obs_accumulator = accumulator
+    _GLOBAL_DEFAULTS.obs = config
+    _GLOBAL_DEFAULTS.obs_accumulator = accumulator
 
 
 def set_default_traffic(traffic: Optional[TrafficConfig]) -> None:
@@ -305,8 +324,7 @@ def set_default_traffic(traffic: Optional[TrafficConfig]) -> None:
     The CLI's ``--traffic`` flag routes through here so every registry
     experiment can move payloads over its routing state.
     """
-    global _default_traffic
-    _default_traffic = traffic
+    _GLOBAL_DEFAULTS.traffic = traffic
 
 
 def set_default_health(config: Optional[HealthConfig]) -> None:
@@ -315,15 +333,13 @@ def set_default_health(config: Optional[HealthConfig]) -> None:
     The CLI's ``--quarantine`` flag routes through here so any registry
     experiment can run with suspicion/quarantine defenses switched on.
     """
-    global _default_health
-    _default_health = config
+    _GLOBAL_DEFAULTS.health = config
 
 
 def set_default_table_guard(guard: Optional[TableGuard]) -> None:
     """Set the table-write guard injected into routing variants that
     carry none (mapping worlds have no routing tables to guard)."""
-    global _default_table_guard
-    _default_table_guard = guard
+    _GLOBAL_DEFAULTS.table_guard = guard
 
 
 def set_default_adversary(spec: Optional[AdversarySpec]) -> None:
@@ -334,27 +350,25 @@ def set_default_adversary(spec: Optional[AdversarySpec]) -> None:
     per sweep (it needs the generator's node count and the variant's
     population), with gateways excluded from victim selection.
     """
-    global _default_adversary
-    _default_adversary = spec
+    _GLOBAL_DEFAULTS.adversary = spec
 
 
 def set_task_limits(
     timeout: Optional[float] = None, retries: Optional[int] = None
 ) -> None:
     """Set the default per-task timeout (seconds) and retry budget."""
-    global _default_task_timeout, _default_task_retries
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"task timeout must be > 0, got {timeout}")
     if retries is not None and retries < 0:
         raise ConfigurationError(f"task retries must be >= 0, got {retries}")
-    _default_task_timeout = timeout
+    _GLOBAL_DEFAULTS.task_timeout = timeout
     if retries is not None:
-        _default_task_retries = retries
+        _GLOBAL_DEFAULTS.task_retries = retries
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
     if workers is None:
-        workers = _default_workers
+        workers = current_defaults().workers
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     # Cap at the machine's core count, but never below 2 so the pool code
@@ -365,10 +379,11 @@ def _resolve_workers(workers: Optional[int]) -> int:
 def _resolve_limits(
     timeout: Optional[float], retries: Optional[int]
 ) -> Tuple[Optional[float], int]:
+    defaults = current_defaults()
     if timeout is None:
-        timeout = _default_task_timeout
+        timeout = defaults.task_timeout
     if retries is None:
-        retries = _default_task_retries
+        retries = defaults.task_retries
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"task timeout must be > 0, got {timeout}")
     if retries < 0:
@@ -390,17 +405,18 @@ def _with_run_defaults(
     into a seeded fault plan per variant (gateways excluded as victims)
     when neither the variant nor ``--faults`` supplied a plan.
     """
+    defaults = current_defaults()
     adjusted = {}
     for name, config in variants.items():
         changes: Dict[str, Any] = {}
-        if _default_fault_plan is not None and config.fault_plan is None:
-            changes["fault_plan"] = _default_fault_plan
+        if defaults.fault_plan is not None and config.fault_plan is None:
+            changes["fault_plan"] = defaults.fault_plan
         elif (
-            _default_adversary is not None
+            defaults.adversary is not None
             and config.fault_plan is None
             and generator_config is not None
         ):
-            spec = _default_adversary
+            spec = defaults.adversary
             changes["fault_plan"] = FaultPlan.random_adversary(
                 master_seed,
                 node_count=generator_config.node_count,
@@ -412,30 +428,30 @@ def _with_run_defaults(
                 start=spec.start,
                 exclude=tuple(range(generator_config.gateway_count)),
             )
-        if _default_channel is not None and config.channel is None:
-            changes["channel"] = _default_channel
+        if defaults.channel is not None and config.channel is None:
+            changes["channel"] = defaults.channel
         if (
-            _default_check_invariants is not None
+            defaults.check_invariants is not None
             and config.check_invariants is None
         ):
-            changes["check_invariants"] = _default_check_invariants
-        if _default_route_ttl is not None and hasattr(config, "route_ttl"):
-            changes["route_ttl"] = _default_route_ttl
-        if _default_obs is not None and config.obs is None:
-            changes["obs"] = _default_obs
+            changes["check_invariants"] = defaults.check_invariants
+        if defaults.route_ttl is not None and hasattr(config, "route_ttl"):
+            changes["route_ttl"] = defaults.route_ttl
+        if defaults.obs is not None and config.obs is None:
+            changes["obs"] = defaults.obs
         if (
-            _default_traffic is not None
+            defaults.traffic is not None
             and getattr(config, "traffic", None) is None
         ):
-            changes["traffic"] = _default_traffic
-        if _default_health is not None and config.health is None:
-            changes["health"] = _default_health
+            changes["traffic"] = defaults.traffic
+        if defaults.health is not None and config.health is None:
+            changes["health"] = defaults.health
         if (
-            _default_table_guard is not None
+            defaults.table_guard is not None
             and hasattr(config, "table_guard")
             and config.table_guard is None
         ):
-            changes["table_guard"] = _default_table_guard
+            changes["table_guard"] = defaults.table_guard
         adjusted[name] = dataclasses.replace(config, **changes) if changes else config
     return adjusted
 
@@ -470,7 +486,11 @@ def _open_checkpoint(
     generator_config: GeneratorConfig,
     variants: Dict[str, Any],
 ) -> Optional[SweepCheckpoint]:
-    directory = checkpoint_dir if checkpoint_dir is not None else _default_checkpoint_dir
+    directory = (
+        checkpoint_dir
+        if checkpoint_dir is not None
+        else current_defaults().checkpoint_dir
+    )
     if directory is None:
         return None
     fingerprint = _sweep_fingerprint(scenario, master_seed, generator_config, variants)
@@ -696,6 +716,7 @@ def run_mapping_variants(
     collected: Dict[str, List[Tuple[int, MappingResult]]] = {
         name: [] for name in variants
     }
+    accumulator = current_defaults().obs_accumulator
     pool_size = _resolve_workers(workers)
     for name, run_index, result in _run_tasks(
         tasks,
@@ -717,8 +738,8 @@ def run_mapping_variants(
         for run_index, result in pairs:
             outcome.finishing_times.append(result.finishing_time)
             outcome.results.append(result)
-            if _obs_accumulator is not None:
-                _obs_accumulator.add("mapping", name, run_index, result.obs)
+            if accumulator is not None:
+                accumulator.add("mapping", name, run_index, result.obs)
         outcomes[name] = outcome
     return outcomes
 
@@ -762,6 +783,7 @@ def run_routing_variants(
     collected: Dict[str, List[Tuple[int, RoutingResult]]] = {
         name: [] for name in variants
     }
+    accumulator = current_defaults().obs_accumulator
     pool_size = _resolve_workers(workers)
     for name, run_index, result in _run_tasks(
         tasks,
@@ -782,7 +804,7 @@ def run_routing_variants(
         outcome = RoutingVariantResult(name)
         for run_index, result in pairs:
             outcome.results.append(result)
-            if _obs_accumulator is not None:
-                _obs_accumulator.add("routing", name, run_index, result.obs)
+            if accumulator is not None:
+                accumulator.add("routing", name, run_index, result.obs)
         outcomes[name] = outcome
     return outcomes

@@ -37,6 +37,7 @@ def build_manifest(
     scale: str,
     experiments: Sequence[str],
     options: Optional[Dict[str, Any]] = None,
+    service: Optional[Dict[str, Any]] = None,
 ) -> dict:
     """Assemble the JSON-safe manifest for one CLI (or bench) invocation.
 
@@ -44,6 +45,11 @@ def build_manifest(
     fault plan, loss spec, …); they are recorded verbatim and folded
     into ``config_hash`` together with the seed, scale, and experiment
     ids.
+
+    ``service``, when given, is the experiment-service provenance block
+    (job id, spec name, spec fingerprint).  It is recorded verbatim but
+    *not* hashed: the spec fingerprint already covers the result-shaping
+    fields, and the job id varies per submission of the same sweep.
     """
     from repro import __version__
 
@@ -52,7 +58,7 @@ def build_manifest(
     hashed["master_seed"] = master_seed
     hashed["scale"] = scale
     hashed["experiments"] = tuple(experiments)
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "master_seed": master_seed,
@@ -68,3 +74,6 @@ def build_manifest(
             "machine": platform_module.machine(),
         },
     }
+    if service is not None:
+        manifest["service"] = dict(service)
+    return manifest

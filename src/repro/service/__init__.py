@@ -1,0 +1,63 @@
+"""The experiment service layer: specs, job queue, baselines, bundles.
+
+The service plane turns ad-hoc experiment invocations into first-class,
+reproducible objects:
+
+* :mod:`repro.service.spec` — the declarative scenario/sweep DSL
+  (JSON/YAML-loadable, schema-validated, fingerprinted, grid-expanding);
+* :mod:`repro.service.queue` — the crash-safe priority job queue;
+* :mod:`repro.service.service` — the worker pool executing specs
+  through the hardened checkpoint/resume runner;
+* :mod:`repro.service.baseline_pack` — calibrated expected-metric
+  envelopes with drift checking;
+* :mod:`repro.service.export_bundle` — single-artifact result export.
+
+The CLI front ends are ``repro submit / jobs / serve / cancel /
+export / calibrate``.
+"""
+
+from repro.service.baseline_pack import (
+    build_pack,
+    check_drift,
+    load_pack,
+    metrics_from_report,
+    save_pack,
+)
+from repro.service.export_bundle import export_bundle, load_bundle
+from repro.service.queue import Job, JobQueue
+from repro.service.service import (
+    ExperimentService,
+    JobCancelled,
+    build_unit_defaults,
+    execute_spec,
+)
+from repro.service.spec import (
+    SweepLimits,
+    SweepOutputs,
+    SweepSpec,
+    SweepUnit,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "SweepSpec",
+    "SweepUnit",
+    "SweepLimits",
+    "SweepOutputs",
+    "spec_from_dict",
+    "load_spec",
+    "Job",
+    "JobQueue",
+    "ExperimentService",
+    "JobCancelled",
+    "execute_spec",
+    "build_unit_defaults",
+    "metrics_from_report",
+    "build_pack",
+    "save_pack",
+    "load_pack",
+    "check_drift",
+    "export_bundle",
+    "load_bundle",
+]

@@ -1,0 +1,180 @@
+"""Bundle export: one reproducible artifact per finished job.
+
+A bundle packages everything a finished job produced — the normalized
+spec, the run manifest (carrying the spec fingerprint), every saved
+:class:`~repro.experiments.report.ExperimentReport`, and the optional
+metrics/trace artifacts — into a single directory or ``.tar.gz`` that
+can be archived, attached to a paper, or re-rendered years later with
+``repro report``.  ``load_bundle`` round-trips the whole thing:
+reports come back through the same
+:func:`~repro.experiments.persistence.load_report` path the CLI uses,
+and the index is verified against the files actually present.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tarfile
+import tempfile
+from typing import Dict, List, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.persistence import load_report
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["BUNDLE_SCHEMA", "export_bundle", "load_bundle"]
+
+#: bumped when the bundle layout changes incompatibly.
+BUNDLE_SCHEMA = 1
+
+#: job artifacts copied into the bundle root when present.
+_OPTIONAL_FILES = ("metrics.json", "trace.jsonl")
+
+
+def _read_json(path: pathlib.Path, what: str) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot read {what} at {path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"{what} at {path} is not a JSON object")
+    return payload
+
+
+def export_bundle(
+    job_dir: Union[str, pathlib.Path],
+    out: Union[str, pathlib.Path],
+) -> pathlib.Path:
+    """Package a finished job directory into ``out``.
+
+    ``out`` ending in ``.tar.gz``/``.tgz`` produces a tarball, anything
+    else a directory.  The bundle's ``bundle.json`` index lists every
+    packaged file and carries the spec fingerprint from the manifest, so
+    a bundle is self-describing even outside its service directory.
+    """
+    job_dir = pathlib.Path(job_dir)
+    manifest_path = job_dir / "manifest.json"
+    spec_path = job_dir / "spec.json"
+    reports_dir = job_dir / "reports"
+    if not manifest_path.exists() or not reports_dir.is_dir():
+        raise ExperimentError(
+            f"{job_dir} is not a finished job directory "
+            "(manifest.json and reports/ required); did the job complete?"
+        )
+    manifest = _read_json(manifest_path, "job manifest")
+    service_block = manifest.get("service", {})
+
+    out = pathlib.Path(out)
+    as_tar = out.name.endswith((".tar.gz", ".tgz"))
+
+    report_files = sorted(
+        path.relative_to(job_dir).as_posix()
+        for path in reports_dir.rglob("*.json")
+    )
+    if not report_files:
+        raise ExperimentError(f"{job_dir} has no saved reports to bundle")
+    files: List[str] = ["manifest.json"] + report_files
+    if spec_path.exists():
+        files.append("spec.json")
+    for name in _OPTIONAL_FILES:
+        if (job_dir / name).exists():
+            files.append(name)
+    svg_files = sorted(
+        path.relative_to(job_dir).as_posix()
+        for path in reports_dir.rglob("*.svg")
+    )
+    files.extend(svg_files)
+
+    index = {
+        "schema": BUNDLE_SCHEMA,
+        "spec_fingerprint": service_block.get("spec_fingerprint"),
+        "job_id": service_block.get("job_id"),
+        "spec_name": service_block.get("spec_name"),
+        "config_hash": manifest.get("config_hash"),
+        "files": sorted(files),
+        "reports": report_files,
+    }
+
+    def populate(root: pathlib.Path) -> None:
+        for rel in files:
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy2(job_dir / rel, target)
+        (root / "bundle.json").write_text(
+            json.dumps(index, indent=2, sort_keys=True) + "\n"
+        )
+
+    if as_tar:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(prefix="repro-bundle-") as staging:
+            stage_root = pathlib.Path(staging) / "bundle"
+            stage_root.mkdir()
+            populate(stage_root)
+            with tarfile.open(out, "w:gz") as tar:
+                # a stable arcname so extraction yields one tidy folder.
+                tar.add(stage_root, arcname=out.name.split(".tar")[0].split(".tgz")[0])
+    else:
+        out.mkdir(parents=True, exist_ok=True)
+        populate(out)
+    return out
+
+
+def _extract_tar(path: pathlib.Path, dest: pathlib.Path) -> pathlib.Path:
+    try:
+        with tarfile.open(path, "r:gz") as tar:
+            try:
+                tar.extractall(dest, filter="data")
+            except TypeError:  # pragma: no cover - pre-3.11.4 fallback
+                tar.extractall(dest)  # noqa: S202 - bundle we just opened
+    except (OSError, tarfile.TarError) as error:
+        raise ExperimentError(f"cannot extract bundle {path}: {error}") from None
+    roots = [child for child in dest.iterdir() if child.is_dir()]
+    if len(roots) == 1 and not (dest / "bundle.json").exists():
+        return roots[0]
+    return dest
+
+
+def load_bundle(path: Union[str, pathlib.Path]) -> Dict[str, object]:
+    """Re-load an exported bundle (directory or tarball).
+
+    Returns ``{"index", "manifest", "spec", "reports"}`` where
+    ``reports`` maps each unit label to its re-loaded
+    :class:`ExperimentReport`.  Raises
+    :class:`~repro.errors.ExperimentError` when the index disagrees
+    with the files actually present — a truncated copy fails loudly.
+    """
+    path = pathlib.Path(path)
+    if path.is_file():
+        with tempfile.TemporaryDirectory(prefix="repro-bundle-") as scratch:
+            root = _extract_tar(path, pathlib.Path(scratch))
+            return _load_bundle_dir(root)
+    return _load_bundle_dir(path)
+
+
+def _load_bundle_dir(root: pathlib.Path) -> Dict[str, object]:
+    index = _read_json(root / "bundle.json", "bundle index")
+    if index.get("schema") != BUNDLE_SCHEMA:
+        raise ExperimentError(
+            f"bundle {root} has unsupported schema {index.get('schema')!r} "
+            f"(expected {BUNDLE_SCHEMA})"
+        )
+    missing = [rel for rel in index.get("files", []) if not (root / rel).exists()]
+    if missing:
+        raise ExperimentError(
+            f"bundle {root} is incomplete; missing: {', '.join(missing)}"
+        )
+    manifest = _read_json(root / "manifest.json", "bundle manifest")
+    spec = (
+        _read_json(root / "spec.json", "bundle spec")
+        if (root / "spec.json").exists()
+        else None
+    )
+    reports: Dict[str, ExperimentReport] = {}
+    for rel in index.get("reports", []):
+        rel_path = pathlib.PurePosixPath(rel)
+        # reports/<label>/<experiment_id>.json
+        label = rel_path.parent.name
+        reports[label] = load_report(root / rel)
+    return {"index": index, "manifest": manifest, "spec": spec, "reports": reports}

@@ -1,0 +1,106 @@
+"""Bundle export/load: self-describing artifacts that round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis.series import TimeSeries
+from repro.errors import ExperimentError
+from repro.experiments.persistence import save_report
+from repro.experiments.report import ExperimentReport
+from repro.service.export_bundle import export_bundle, load_bundle
+
+
+def make_job_dir(tmp_path, labels=("fig7-s1",)):
+    job_dir = tmp_path / "job"
+    for label in labels:
+        report = ExperimentReport(
+            experiment_id="fig7", title="t", paper_claim="c",
+            columns=["x"], rows=[[1.0]],
+        )
+        report.series["conn"] = TimeSeries([0, 1], [0.2, 0.8])
+        save_report(report, job_dir / "reports" / label)
+    manifest = {
+        "config_hash": "deadbeef",
+        "service": {
+            "job_id": "j0001-aaaa",
+            "spec_name": "sweep",
+            "spec_fingerprint": "cafe0123",
+            "units": list(labels),
+        },
+    }
+    (job_dir / "manifest.json").write_text(json.dumps(manifest))
+    (job_dir / "spec.json").write_text(json.dumps({"name": "sweep"}))
+    return job_dir
+
+
+class TestExport:
+    def test_directory_bundle(self, tmp_path):
+        job_dir = make_job_dir(tmp_path)
+        out = export_bundle(job_dir, tmp_path / "bundle")
+        index = json.loads((out / "bundle.json").read_text())
+        assert index["spec_fingerprint"] == "cafe0123"
+        assert index["job_id"] == "j0001-aaaa"
+        assert "reports/fig7-s1/fig7.json" in index["files"]
+        assert (out / "manifest.json").exists()
+
+    def test_tarball_bundle(self, tmp_path):
+        job_dir = make_job_dir(tmp_path)
+        out = export_bundle(job_dir, tmp_path / "bundle.tar.gz")
+        assert out.is_file()
+
+    def test_optional_artifacts_included(self, tmp_path):
+        job_dir = make_job_dir(tmp_path)
+        (job_dir / "metrics.json").write_text("{}")
+        (job_dir / "trace.jsonl").write_text("")
+        out = export_bundle(job_dir, tmp_path / "bundle")
+        index = json.loads((out / "bundle.json").read_text())
+        assert "metrics.json" in index["files"]
+        assert "trace.jsonl" in index["files"]
+
+    def test_unfinished_job_dir_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="did the job complete"):
+            export_bundle(tmp_path / "nope", tmp_path / "bundle")
+
+    def test_no_reports_rejected(self, tmp_path):
+        job_dir = tmp_path / "job"
+        (job_dir / "reports").mkdir(parents=True)
+        (job_dir / "manifest.json").write_text("{}")
+        with pytest.raises(ExperimentError, match="no saved reports"):
+            export_bundle(job_dir, tmp_path / "bundle")
+
+
+class TestLoad:
+    def test_directory_round_trip(self, tmp_path):
+        job_dir = make_job_dir(tmp_path, labels=("fig7-s1", "fig7-s2"))
+        out = export_bundle(job_dir, tmp_path / "bundle")
+        bundle = load_bundle(out)
+        assert set(bundle["reports"]) == {"fig7-s1", "fig7-s2"}
+        report = bundle["reports"]["fig7-s1"]
+        assert report.experiment_id == "fig7"
+        assert report.series["conn"].values == [0.2, 0.8]
+        assert bundle["manifest"]["service"]["spec_fingerprint"] == "cafe0123"
+        assert bundle["spec"] == {"name": "sweep"}
+
+    def test_tarball_round_trip(self, tmp_path):
+        job_dir = make_job_dir(tmp_path)
+        out = export_bundle(job_dir, tmp_path / "bundle.tar.gz")
+        bundle = load_bundle(out)
+        assert "fig7-s1" in bundle["reports"]
+        assert bundle["index"]["spec_name"] == "sweep"
+
+    def test_truncated_bundle_fails_loudly(self, tmp_path):
+        job_dir = make_job_dir(tmp_path)
+        out = export_bundle(job_dir, tmp_path / "bundle")
+        (out / "manifest.json").unlink()
+        with pytest.raises(ExperimentError, match="incomplete"):
+            load_bundle(out)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        job_dir = make_job_dir(tmp_path)
+        out = export_bundle(job_dir, tmp_path / "bundle")
+        index = json.loads((out / "bundle.json").read_text())
+        index["schema"] = 99
+        (out / "bundle.json").write_text(json.dumps(index))
+        with pytest.raises(ExperimentError, match="unsupported schema"):
+            load_bundle(out)

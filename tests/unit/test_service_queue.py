@@ -1,0 +1,218 @@
+"""Job queue: journal replay, crash recovery, priority, cancel, requeue."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.service.queue import JobQueue
+from repro.service.spec import spec_from_dict
+
+
+def make_spec(name="sweep", **overrides):
+    payload = {"name": name, "experiments": ["fig7"], "runs": 2}
+    payload.update(overrides)
+    return spec_from_dict(payload)
+
+
+class TestSubmitAndLookup:
+    def test_submit_assigns_sequential_fingerprinted_ids(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        spec = make_spec()
+        first = queue.submit(spec)
+        second = queue.submit(spec)
+        assert first.job_id == f"j0001-{spec.fingerprint()[:8]}"
+        assert second.job_id == f"j0002-{spec.fingerprint()[:8]}"
+        assert first.state == "queued"
+
+    def test_get_unknown_job_lists_known(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_spec())
+        with pytest.raises(ExperimentError, match="known jobs"):
+            queue.get("j9999-deadbeef")
+
+    def test_jobs_in_submission_order(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        ids = [queue.submit(make_spec(), priority=p).job_id for p in (5, 1, 9)]
+        assert [job.job_id for job in queue.jobs()] == ids
+
+
+class TestClaimOrder:
+    def test_priority_desc_then_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        low = queue.submit(make_spec(), priority=1)
+        high = queue.submit(make_spec(), priority=9)
+        also_high = queue.submit(make_spec(), priority=9)
+        order = [queue.claim_next().job_id for _ in range(3)]
+        assert order == [high.job_id, also_high.job_id, low.job_id]
+
+    def test_spec_priority_is_the_default(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec(priority=7))
+        assert job.priority == 7
+        assert queue.submit(make_spec(priority=7), priority=2).priority == 2
+
+    def test_claim_marks_running(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_spec())
+        job = queue.claim_next()
+        assert job.state == "running"
+        assert queue.claim_next() is None
+
+
+class TestJournalReplay:
+    def test_full_lifecycle_survives_reload(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        queue.transition(job.job_id, "done")
+
+        reloaded = JobQueue(tmp_path)
+        assert reloaded.get(job.job_id).state == "done"
+        assert reloaded.counts()["done"] == 1
+
+    def test_failure_detail_survives_reload(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        queue.transition(job.job_id, "failed", error="boom", drift=["m: off"])
+
+        reloaded = JobQueue(tmp_path).get(job.job_id)
+        assert reloaded.error == "boom"
+        assert reloaded.drift == ["m: off"]
+
+    def test_torn_trailing_line_dropped(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        done = queue.submit(make_spec())
+        queue.transition(done.job_id, "running")
+        queue.transition(done.job_id, "done")
+        journal = tmp_path / "jobs.jsonl"
+        journal.write_text(journal.read_text()[:-20])  # died mid-append
+
+        # the torn 'done' record is gone; the server's recovery pass
+        # re-queues the job so the sweep resumes from its checkpoints.
+        reloaded = JobQueue(tmp_path, recover=True)
+        assert reloaded.get(done.job_id).state == "queued"
+
+    def test_append_after_torn_tail_stays_parseable(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        journal = tmp_path / "jobs.jsonl"
+        with journal.open("a") as handle:
+            handle.write('{"kind": "stat')  # torn, no newline
+
+        second = JobQueue(tmp_path)
+        second.transition(job.job_id, "running")
+        third = JobQueue(tmp_path)
+        assert third.get(job.job_id).state in ("running", "queued")
+
+    def test_empty_journal_rejected(self, tmp_path):
+        (tmp_path / "jobs.jsonl").write_text("")
+        with pytest.raises(ExperimentError, match="empty"):
+            JobQueue(tmp_path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        (tmp_path / "jobs.jsonl").write_text('{"kind": "header", "schema": 99}\n')
+        with pytest.raises(ExperimentError, match="unsupported header"):
+            JobQueue(tmp_path)
+
+
+class TestCrashRecovery:
+    def test_running_jobs_requeued_by_server_recovery(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        # simulate the owning process dying here.
+
+        recovered = JobQueue(tmp_path, recover=True)
+        assert recovered.get(job.job_id).state == "queued"
+        # the recovery record is journalled, so a plain open agrees.
+        assert JobQueue(tmp_path).get(job.job_id).state == "queued"
+
+    def test_client_open_leaves_running_jobs_alone(self, tmp_path):
+        # `repro jobs` / `repro cancel` against a LIVE server must not
+        # requeue the job that server is legitimately running.
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+
+        client = JobQueue(tmp_path)
+        assert client.get(job.job_id).state == "running"
+        queue.refresh()
+        assert queue.get(job.job_id).state == "running"
+
+    def test_recovery_note_in_journal(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        JobQueue(tmp_path, recover=True)
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "jobs.jsonl").read_text().splitlines()
+        ]
+        assert any("recovered" in record.get("note", "") for record in records)
+
+
+class TestCancelAndRequeue:
+    def test_cancel_queued_is_immediate(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        assert queue.request_cancel(job.job_id).state == "cancelled"
+        assert queue.pending() == []
+
+    def test_cancel_running_sets_flag(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        flagged = queue.request_cancel(job.job_id)
+        assert flagged.state == "running"
+        assert flagged.cancel_requested
+
+    def test_cancel_flag_visible_cross_process(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        JobQueue(tmp_path).request_cancel(job.job_id)  # other process
+        queue.refresh()
+        assert queue.get(job.job_id).cancel_requested
+
+    def test_cancel_finished_job_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        queue.transition(job.job_id, "done")
+        with pytest.raises(ExperimentError, match="already finished"):
+            queue.request_cancel(job.job_id)
+
+    def test_requeue_clears_previous_outcome(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        queue.transition(job.job_id, "failed", error="boom", drift=["x"])
+        requeued = queue.requeue(job.job_id)
+        assert requeued.state == "queued"
+        assert requeued.error is None
+        assert requeued.drift == []
+        assert not requeued.cancel_requested
+
+    def test_requeue_done_job_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        queue.transition(job.job_id, "running")
+        queue.transition(job.job_id, "done")
+        with pytest.raises(ExperimentError, match="only failed or cancelled"):
+            queue.requeue(job.job_id)
+
+
+def test_counts_and_idle(tmp_path):
+    queue = JobQueue(tmp_path)
+    assert queue.idle()
+    first = queue.submit(make_spec())
+    second = queue.submit(make_spec())
+    queue.transition(first.job_id, "running")
+    queue.transition(first.job_id, "done")
+    assert not queue.idle()
+    counts = queue.counts()
+    assert counts["done"] == 1 and counts["queued"] == 1
+    queue.request_cancel(second.job_id)
+    assert queue.idle()

@@ -1,0 +1,100 @@
+"""SweepCheckpoint journal recovery: tail corruption must never lose
+the completed prefix.
+
+The runner-level resume behaviour is covered by the hardening
+integration tests; these exercise the journal class directly so each
+corruption mode (truncated write, binary garbage, wrong JSON shape) is
+pinned down without paying for a simulation.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.persistence import SweepCheckpoint
+
+
+def make_checkpoint(path, entries=()):
+    checkpoint = SweepCheckpoint(path, "routing", "cafebabe")
+    for name, run_index, payload in entries:
+        checkpoint.record(name, run_index, payload)
+    return checkpoint
+
+
+ENTRIES = [
+    ("a", 0, {"value": 1}),
+    ("a", 1, {"value": 2}),
+    ("b", 0, {"value": 3}),
+]
+
+
+class TestTailCorruptionRecovery:
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        make_checkpoint(path, ENTRIES)
+        text = path.read_text()
+        path.write_text(text[:-15])  # kill landed mid-write of the last entry
+
+        resumed = SweepCheckpoint(path, "routing", "cafebabe")
+        assert ("a", 0) in resumed
+        assert ("a", 1) in resumed
+        assert ("b", 0) not in resumed
+        assert len(resumed) == 2
+        assert resumed.result_payload("a", 1) == {"value": 2}
+
+    def test_garbage_final_line_dropped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        make_checkpoint(path, ENTRIES)
+        with path.open("a") as handle:
+            handle.write("\x00\xff not json at all")
+
+        resumed = SweepCheckpoint(path, "routing", "cafebabe")
+        assert len(resumed) == 3
+        assert resumed.result_payload("b", 0) == {"value": 3}
+
+    def test_non_dict_json_line_dropped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        make_checkpoint(path, ENTRIES[:1])
+        with path.open("a") as handle:
+            handle.write(json.dumps([1, 2, 3]) + "\n")
+
+        resumed = SweepCheckpoint(path, "routing", "cafebabe")
+        assert len(resumed) == 1
+
+    def test_recovery_then_rerecord_appends_cleanly(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        make_checkpoint(path, ENTRIES)
+        path.write_text(path.read_text()[:-15])
+
+        resumed = SweepCheckpoint(path, "routing", "cafebabe")
+        resumed.record("b", 0, {"value": 30})  # the torn task, re-run
+        assert resumed.result_payload("b", 0) == {"value": 30}
+
+        # a third open sees a fully healthy journal again
+        final = SweepCheckpoint(path, "routing", "cafebabe")
+        assert len(final) == 3
+        assert final.result_payload("b", 0) == {"value": 30}
+
+    def test_record_is_idempotent_per_key(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        checkpoint = make_checkpoint(path, ENTRIES[:1])
+        checkpoint.record("a", 0, {"value": 999})  # duplicate: ignored
+        assert checkpoint.result_payload("a", 0) == {"value": 1}
+        assert len(path.read_text().splitlines()) == 2  # header + one entry
+
+
+class TestHeaderCorruption:
+    def test_empty_journal_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("")
+        with pytest.raises(ExperimentError, match="empty"):
+            SweepCheckpoint(path, "routing", "cafebabe")
+
+    def test_torn_header_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        make_checkpoint(path, ENTRIES)
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0][: len(lines[0]) // 2] + "\n" + "\n".join(lines[1:]))
+        with pytest.raises(ExperimentError, match="unsupported header"):
+            SweepCheckpoint(path, "routing", "cafebabe")
