@@ -37,7 +37,11 @@ from repro.routing.world import RoutingWorld, RoutingWorldConfig
 
 #: bumped when the baseline-file layout changes incompatibly.
 #: 2: added the naive twin workloads and the ``speedups`` section.
-BENCH_SCHEMA = 2
+#: 3: the naive world twin pins ``batch_agents=False`` (a true
+#:    per-object oracle), the ``routing_world_step_batch`` pair
+#:    isolates the SoA agent engine at an agent-dominated population,
+#:    and every workload gets an untimed warmup round.
+BENCH_SCHEMA = 3
 
 #: the same 250-node MANET the pytest benchmarks use.
 MANET_250 = GeneratorConfig(
@@ -67,7 +71,14 @@ SCALES = {
 
 
 def _time_workload(func, iterations, rounds):
-    """Best/mean/median per-call seconds over ``rounds`` timed rounds."""
+    """Best/mean/median per-call seconds over ``rounds`` timed rounds.
+
+    One untimed warmup round runs first so stateful workloads (the
+    world steppers ramp up routes and connectivity over their first few
+    hundred steps) are measured in steady state, not mid-ramp.
+    """
+    for __ in range(iterations):
+        func()
     per_call = []
     for __ in range(rounds):
         started = perf_counter()
@@ -152,8 +163,9 @@ def _workloads(scale):
         stepper.engine.step()
         return stepper.result.connectivity[-1]
 
-    # The reference configuration: rebuild-from-scratch topology and a
-    # full re-walk of the connectivity metric every step.
+    # The reference configuration: rebuild-from-scratch topology, a full
+    # re-walk of the connectivity metric every step, and per-object
+    # agent stepping (the batch engine's oracle twin).
     naive_stepper = RoutingWorld(
         NetworkGenerator(manet, 6).generate_manet(),
         RoutingWorldConfig(
@@ -161,6 +173,7 @@ def _workloads(scale):
             total_steps=10_000_000,
             converged_after=0,
             connectivity_cache=False,
+            batch_agents=False,
         ),
         seed=7,
     )
@@ -169,6 +182,34 @@ def _workloads(scale):
     def world_step_naive():
         naive_stepper.engine.step()
         return naive_stepper.result.connectivity[-1]
+
+    # The SoA batch engine isolated: both twins keep the incremental
+    # topology and delta-aware connectivity, only the agent engine
+    # differs, and the population is large enough that agent stepping
+    # dominates the tick.
+    batch_pop = 500 if scale == "full" else 100
+    batch_steppers = []
+    for batch in (True, False):
+        world = RoutingWorld(
+            NetworkGenerator(manet, 6).generate_manet(),
+            RoutingWorldConfig(
+                population=batch_pop,
+                total_steps=10_000_000,
+                converged_after=0,
+                batch_agents=batch,
+            ),
+            seed=7,
+        )
+        batch_steppers.append(world)
+    batch_stepper, object_stepper = batch_steppers
+
+    def world_step_batch():
+        batch_stepper.engine.step()
+        return batch_stepper.result.connectivity[-1]
+
+    def world_step_batch_naive():
+        object_stepper.engine.step()
+        return object_stepper.result.connectivity[-1]
 
     bank = TableBank(250, ttl=150)
     churn_rng = random.Random(8)
@@ -195,6 +236,8 @@ def _workloads(scale):
         ("footprint_filter", footprint_filter),
         ("routing_world_step", world_step),
         ("routing_world_step_naive", world_step_naive),
+        ("routing_world_step_batch", world_step_batch),
+        ("routing_world_step_batch_naive", world_step_batch_naive),
         ("table_install_expire", table_churn),
     ]
 
@@ -205,6 +248,7 @@ def _workloads(scale):
 SPEEDUP_PAIRS = {
     "topology_advance": "topology_advance_naive",
     "routing_world_step": "routing_world_step_naive",
+    "routing_world_step_batch": "routing_world_step_batch_naive",
 }
 
 

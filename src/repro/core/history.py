@@ -10,6 +10,7 @@ entry when full.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterator, Tuple
 
 from repro.errors import ConfigurationError
@@ -71,9 +72,16 @@ class VisitHistory:
         for node, time in other._visits.items():
             if time > self._visits.get(node, NEVER):
                 self._visits[node] = time
-        while len(self._visits) > self.capacity:
-            stalest = min(self._visits, key=lambda n: (self._visits[n], n))
-            del self._visits[stalest]
+        excess = len(self._visits) - self.capacity
+        if excess > 0:
+            # Single-pass trim: evicting the `excess` stalest entries by
+            # (time, id) leaves exactly the survivors the old one-at-a-time
+            # min() loop kept, at O(n log k) instead of O(k*n) per meeting.
+            stale = heapq.nsmallest(
+                excess, self._visits.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            for node, __ in stale:
+                del self._visits[node]
 
     def snapshot(self) -> Dict[NodeId, Time]:
         """A defensive copy of the remembered visits."""

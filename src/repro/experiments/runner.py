@@ -91,6 +91,7 @@ __all__ = [
     "set_default_health",
     "set_default_table_guard",
     "set_default_adversary",
+    "set_default_batch_agents",
     "set_task_limits",
 ]
 
@@ -227,6 +228,9 @@ class RunDefaults:
     #: adversary spec materialized into a seeded fault plan for variants
     #: that carry no plan of their own.
     adversary: Optional[AdversarySpec] = None
+    #: batch-agent engine override for routing variants that leave it on
+    #: auto (``None``).  Mapping worlds carry no such knob and are skipped.
+    batch_agents: Optional[bool] = None
 
 
 #: the process-wide defaults the CLI flag setters mutate.
@@ -353,6 +357,16 @@ def set_default_adversary(spec: Optional[AdversarySpec]) -> None:
     _GLOBAL_DEFAULTS.adversary = spec
 
 
+def set_default_batch_agents(batch: Optional[bool]) -> None:
+    """Set the batch-agent engine default for variants that leave it on auto.
+
+    ``True`` forces the vectorized SoA engine, ``False`` forces the
+    per-object engine (the equivalence oracle), and ``None`` restores
+    auto-detection.  A variant's own explicit choice always wins.
+    """
+    _GLOBAL_DEFAULTS.batch_agents = batch
+
+
 def set_task_limits(
     timeout: Optional[float] = None, retries: Optional[int] = None
 ) -> None:
@@ -452,6 +466,12 @@ def _with_run_defaults(
             and config.table_guard is None
         ):
             changes["table_guard"] = defaults.table_guard
+        if (
+            defaults.batch_agents is not None
+            and hasattr(config, "batch_agents")
+            and config.batch_agents is None
+        ):
+            changes["batch_agents"] = defaults.batch_agents
         adjusted[name] = dataclasses.replace(config, **changes) if changes else config
     return adjusted
 

@@ -31,11 +31,12 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
-from repro.net.battery import NoDrain
-from repro.net.geometry import Arena
+from repro.net.battery import ExponentialDrain, LinearDrain, NoDrain
+from repro.net.geometry import Arena, Point
 from repro.net.graphutils import Adjacency, edge_count, is_strongly_connected
-from repro.net.mobility import Stationary
+from repro.net.mobility import RandomVelocity, Stationary
 from repro.net.node import Node
+from repro.net.radio import BatteryCoupledRange, FixedRange, HeterogeneousRange
 from repro.types import Edge, NodeId
 
 try:  # optional fast path; the grid path below needs nothing but stdlib
@@ -86,6 +87,115 @@ class TopologyDelta:
     removed: List[Edge] = field(default_factory=list)
 
 
+@dataclass
+class _DrainGroup:
+    """One distinct drain model: its batteries and their level mirror."""
+
+    #: "linear" carries ``per_step``, "exp" carries ``1 - rate``.
+    kind: str
+    param: float
+    batteries: list
+    #: float64 mirror of every battery's ``_level``, updated in place.
+    levels: object
+    #: ``(k, node_id, base, exponent, floor)`` for the group members
+    #: whose radio is battery-coupled (``k`` indexes into ``levels``);
+    #: constant-range radios need no recompute after a drain step.
+    coupled: List[Tuple[int, NodeId, float, float, float]]
+
+
+@dataclass
+class _AdvanceState:
+    """Hardware classification backing the vectorized advance fast path.
+
+    Positions, velocities and battery levels are mirrored as float64
+    arrays so the steady state runs without per-node attribute reads.
+    Any :meth:`Topology.invalidate` (the mandatory companion of every
+    external node mutation) discards the whole state, so the mirrors
+    can never go stale.
+    """
+
+    #: straight-line (RandomVelocity) nodes, with their models and ids.
+    movers: List[Node]
+    mover_mob: List["RandomVelocity"]
+    mover_ids: List[NodeId]
+    mx: object
+    my: object
+    vx: object
+    vy: object
+    drain_groups: List[_DrainGroup]
+
+
+def _classify_hardware(nodes: Sequence[Node], dynamic: Sequence[Node]):
+    """Build the fast-path :class:`_AdvanceState`, or ``False``.
+
+    The fast path must know *every* way a node's position or range can
+    change between refreshes, so it demands stock models throughout:
+    exotic mobility, drain, or radio classes (whose state could move on
+    their own schedule) disable it for the topology's lifetime and the
+    scalar loop plus the full change scan stay in charge.
+    """
+    known_radios = (FixedRange, HeterogeneousRange, BatteryCoupledRange)
+    for node in nodes:
+        radio = node.radio
+        radio_kind = type(radio)
+        if radio_kind not in known_radios:
+            return False
+        if radio_kind is BatteryCoupledRange and radio.battery is not node.battery:
+            # A cross-wired radio could change range without its own
+            # node draining; the fast path can't see that.
+            return False
+    movers: List[Node] = []
+    mover_mob: List[RandomVelocity] = []
+    mover_ids: List[NodeId] = []
+    groups: Dict[Tuple[str, float], Tuple[list, List[Node]]] = {}
+    for node in dynamic:
+        mobility = node.mobility
+        kind = type(mobility)
+        if kind is RandomVelocity:
+            movers.append(node)
+            mover_mob.append(mobility)
+            mover_ids.append(node.node_id)
+        elif kind is not Stationary:
+            return False
+        if node._battery_drains:
+            model = node.battery._drain_model
+            model_kind = type(model)
+            if model_kind is LinearDrain:
+                key = ("linear", model.per_step)
+            elif model_kind is ExponentialDrain:
+                key = ("exp", model._keep)
+            else:
+                return False
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = ([], [])
+            group[0].append(node.battery)
+            group[1].append(node)
+    m = len(movers)
+    mx = _np.fromiter((node.position.x for node in movers), _np.float64, m)
+    my = _np.fromiter((node.position.y for node in movers), _np.float64, m)
+    vx = _np.fromiter((mob._vx for mob in mover_mob), _np.float64, m)
+    vy = _np.fromiter((mob._vy for mob in mover_mob), _np.float64, m)
+    drain_groups = []
+    for (kind, param), (batteries, group_nodes) in groups.items():
+        levels = _np.fromiter(
+            (b._level for b in batteries), _np.float64, len(batteries)
+        )
+        coupled = [
+            (
+                k,
+                node.node_id,
+                node.radio.base,
+                node.radio.exponent,
+                node.radio.floor,
+            )
+            for k, node in enumerate(group_nodes)
+            if type(node.radio) is BatteryCoupledRange
+        ]
+        drain_groups.append(_DrainGroup(kind, param, batteries, levels, coupled))
+    return _AdvanceState(movers, mover_mob, mover_ids, mx, my, vx, vy, drain_groups)
+
+
 class Topology:
     """Directed wireless topology over a fixed set of nodes."""
 
@@ -116,7 +226,21 @@ class Topology:
         self._vector = _np is not None
         self._ax = self._ay = self._ar = self._alive = None
         self._adj_mask = None
+        #: _vector_fixups workspace (allocated with the adjacency mirror)
+        self._ws_d2 = self._ws_dy = self._ws_mask = self._ws_old = None
+        self._ws_smask = self._ws_oldin = self._ws_r2 = self._ws_scol = None
+        self._ws_arange = None
         self._dynamic_nodes: Optional[List[Node]] = None
+        #: change hint from the vectorized :meth:`advance` fast path:
+        #: ``(moved_ids, xs, ys, range_changed_ids, ranges)`` holding the
+        #: new values; the mirrors are written only when the hint is
+        #: consumed by the refresh.  Any :meth:`invalidate` discards it,
+        #: so external mutations always force the full change scan.
+        self._advance_hint: Optional[Tuple[list, list, list, list, list]] = None
+        #: lazily built hardware classification for the fast path;
+        #: ``False`` means some node defies it (custom models) and the
+        #: scalar loop is permanent.
+        self._advance_state: object = None
         self._cell: Optional[float] = None
         self._grid: Dict[int, Set[NodeId]] = {}
         self._cx: List[int] = []
@@ -141,6 +265,13 @@ class Topology:
     def invalidate(self) -> None:
         """Mark the cached adjacency stale (after motion or degradation)."""
         self._dirty = True
+        self._advance_hint = None
+        if self._advance_state is not False:
+            # External mutations may have touched positions, velocities
+            # or battery levels behind the fast path's mirrors; rebuild
+            # them on next use.  ``False`` (unsupported models) sticks:
+            # models are fixed at node construction.
+            self._advance_state = None
 
     def recompute(self) -> None:
         """Bring the adjacency up to date with positions and ranges.
@@ -173,6 +304,7 @@ class Topology:
             self._init_incremental_state()
         self._applied_down = set(self._down)
         self._applied_blocked = set(self._blocked)
+        self._advance_hint = None
         self._dirty = False
 
     @property
@@ -277,6 +409,19 @@ class Topology:
                 if successors:
                     mask[u, list(successors)] = True
             self._adj_mask = mask
+            # Preallocated workspace for _vector_fixups: fresh n^2
+            # temporaries cost more to allocate than to fill at these
+            # sizes, so every per-refresh array op writes into a slice
+            # of these instead.
+            self._ws_d2 = _np.empty((n, n), dtype=_np.float64)
+            self._ws_dy = _np.empty((n, n), dtype=_np.float64)
+            self._ws_mask = _np.empty((n, n), dtype=bool)
+            self._ws_old = _np.empty((n, n), dtype=bool)
+            self._ws_smask = _np.empty((n, n), dtype=bool)
+            self._ws_oldin = _np.empty((n, n), dtype=bool)
+            self._ws_r2 = _np.empty(n, dtype=_np.float64)
+            self._ws_scol = _np.empty(n, dtype=bool)
+            self._ws_arange = _np.arange(n)
             self._built = True
             return
         positive = [
@@ -372,23 +517,38 @@ class Topology:
         added: List[Edge] = []
         removed: List[Edge] = []
 
-        # 1. Detect hardware changes (position / effective range).
-        moved: List[NodeId] = []
-        range_changed: List[NodeId] = []
-        moved_append = moved.append
-        range_append = range_changed.append
-        for i, node in enumerate(nodes):
-            pos = node.position
-            x = pos.x
-            y = pos.y
-            if x != px[i] or y != py[i]:
-                moved_append(i)
+        # 1. Detect hardware changes (position / effective range).  The
+        #    vectorized advance fast path hands them over pre-computed
+        #    with their new values; the px/py/pr mirrors are written only
+        #    here, so when an external mutation clears the hint via
+        #    invalidate() the full scan still sees the stale mirrors and
+        #    re-detects every change.
+        hint = self._advance_hint
+        if hint is not None:
+            self._advance_hint = None
+            moved, moved_x, moved_y, range_changed, new_ranges = hint
+            for i, x, y in zip(moved, moved_x, moved_y):
                 px[i] = x
                 py[i] = y
-            r = node.radio.current_range()
-            if r != pr[i]:
-                range_append(i)
+            for i, r in zip(range_changed, new_ranges):
                 pr[i] = r
+        else:
+            moved = []
+            range_changed = []
+            moved_append = moved.append
+            range_append = range_changed.append
+            for i, node in enumerate(nodes):
+                pos = node.position
+                x = pos.x
+                y = pos.y
+                if x != px[i] or y != py[i]:
+                    moved_append(i)
+                    px[i] = x
+                    py[i] = y
+                r = node.radio.current_range()
+                if r != pr[i]:
+                    range_append(i)
+                    pr[i] = r
         if vector:
             # Bulk-refresh the float arrays from the (already updated)
             # scalar lists — cheaper than per-element numpy writes.
@@ -630,41 +790,46 @@ class Topology:
         dirty_list = sorted(out_dirty)
         d = len(dirty_list)
         idx = _np.fromiter(dirty_list, dtype=_np.int64, count=d)
-        # dist²(dirty, all), built in place: (x_v - x_u)² + (y_v - y_u)²
-        # is bit-identical to (x_u - x_v)² + ... (IEEE negation is exact),
-        # so one block serves both the out- and in-edge predicates below.
-        d2 = ax - ax[idx][:, None]
-        d2 *= d2
-        dy = ay - ay[idx][:, None]
-        dy *= dy
-        d2 += dy
+        # dist²(dirty, all), built in place in the preallocated
+        # workspace: (x_v - x_u)² + (y_v - y_u)² is bit-identical to
+        # (x_u - x_v)² + ... (IEEE negation is exact), so one block
+        # serves both the out- and in-edge predicates below.
+        d2 = _np.subtract(ax, ax[idx][:, None], out=self._ws_d2[:d])
+        _np.multiply(d2, d2, out=d2)
+        dy = _np.subtract(ay, ay[idx][:, None], out=self._ws_dy[:d])
+        _np.multiply(dy, dy, out=dy)
+        _np.add(d2, dy, out=d2)
         radius = ar[idx]
-        mask = d2 <= (radius * radius)[:, None]
+        mask = _np.less_equal(d2, (radius * radius)[:, None], out=self._ws_mask[:d])
         if self._down:
-            mask &= alive
+            _np.logical_and(mask, alive, out=mask)
         mask[radius <= 0.0, :] = False
-        mask[_np.arange(d), idx] = False  # no self-loops
+        mask[self._ws_arange[:d], idx] = False  # no self-loops
         if blocked:
             for i, u in enumerate(dirty_list):
                 hidden = blocked_by_src.get(u)
                 if hidden:
                     mask[i, list(hidden)] = False
-        old_rows = adj_mask[idx]
+        old_rows = _np.take(adj_mask, idx, axis=0, out=self._ws_old[:d])
         # flatnonzero on the contiguous bool diff is ~10x cheaper than
         # 2-D nonzero; recover (row, col) from the flat index instead.
         n = len(self.nodes)
-        flat = _np.flatnonzero(mask ^ old_rows)
-        for f in flat.tolist():
-            i, w = divmod(f, n)
-            u = dirty_list[i]
-            if mask[i, w]:
-                adjacency[u].add(w)
-                reverse[w].add(u)
-                added.append((u, w))
-            else:
-                adjacency[u].discard(w)
-                reverse[w].discard(u)
-                removed.append((u, w))
+        _np.logical_xor(mask, old_rows, out=old_rows)
+        flat = _np.flatnonzero(old_rows)
+        if flat.size:
+            fi = flat // n
+            fw = flat - fi * n
+            bits = mask[fi, fw]
+            for i, w, bit in zip(fi.tolist(), fw.tolist(), bits.tolist()):
+                u = dirty_list[i]
+                if bit:
+                    adjacency[u].add(w)
+                    reverse[w].add(u)
+                    added.append((u, w))
+                else:
+                    adjacency[u].discard(w)
+                    reverse[w].discard(u)
+                    removed.append((u, w))
         adj_mask[idx] = mask
 
         if not in_dirty:
@@ -680,34 +845,42 @@ class Topology:
         else:  # in_dirty is a subset of out_dirty by construction
             ridx = _np.fromiter(recv_list, dtype=_np.int64, count=len(recv_list))
             rows = d2[_np.searchsorted(idx, ridx)]
-        smask = rows <= ar * ar  # [j, v]: v's radio covers receiver j
-        sender_cols = ar > 0.0
+        dr = len(recv_list)
+        r2 = _np.multiply(ar, ar, out=self._ws_r2)
+        # [j, v]: v's radio covers receiver j
+        smask = _np.less_equal(rows, r2, out=self._ws_smask[:dr])
+        sender_cols = _np.greater(ar, 0.0, out=self._ws_scol)
         if self._down:
-            sender_cols &= alive
+            _np.logical_and(sender_cols, alive, out=sender_cols)
         sender_cols[idx] = False
-        smask &= sender_cols
+        _np.logical_and(smask, sender_cols, out=smask)
         if blocked:
             recv_pos = {u: j for j, u in enumerate(recv_list)}
             for v, u in blocked:
                 j = recv_pos.get(u)
                 if j is not None:
                     smask[j, v] = False
-        old_in = adj_mask.T[ridx]  # copies: [j, v] = edge v->recv_j now
-        old_in &= sender_cols
-        flat = _np.flatnonzero(smask ^ old_in)
-        for f in flat.tolist():
-            j, v = divmod(f, n)
-            u = recv_list[j]
-            if smask[j, v]:
-                adjacency[v].add(u)
-                reverse[u].add(v)
-                added.append((v, u))
-                adj_mask[v, u] = True
-            else:
-                adjacency[v].discard(u)
-                reverse[u].discard(v)
-                removed.append((v, u))
-                adj_mask[v, u] = False
+        # [j, v] = edge v->recv_j now (strided gather from the transpose)
+        old_in = _np.take(adj_mask.T, ridx, axis=0, out=self._ws_oldin[:dr])
+        _np.logical_and(old_in, sender_cols, out=old_in)
+        _np.logical_xor(smask, old_in, out=old_in)
+        flat = _np.flatnonzero(old_in)
+        if flat.size:
+            fj = flat // n
+            fv = flat - fj * n
+            bits = smask[fj, fv]
+            for j, v, bit in zip(fj.tolist(), fv.tolist(), bits.tolist()):
+                u = recv_list[j]
+                if bit:
+                    adjacency[v].add(u)
+                    reverse[u].add(v)
+                    added.append((v, u))
+                    adj_mask[v, u] = True
+                else:
+                    adjacency[v].discard(u)
+                    reverse[u].discard(v)
+                    removed.append((v, u))
+                    adj_mask[v, u] = False
 
     def _record_full_delta(self) -> None:
         self._delta_full = True
@@ -1013,6 +1186,15 @@ class Topology:
         The partition is computed once (mobility and battery objects are
         fixed at node construction; faults mutate their state, never
         replace them).
+
+        When every node's hardware is built from the stock models, the
+        vectorized fast path below advances batteries and straight-line
+        motion as array operations — bit-identical element-wise, since
+        IEEE adds, subtracts and clamps carry over exactly — and hands
+        the refresh a pre-computed change hint so it can skip its O(n)
+        scan.  The fast path requires a clean (just-refreshed) topology:
+        any pending :meth:`invalidate` means external state may have
+        drifted, so that step takes the scalar loop and the full scan.
         """
         dynamic = self._dynamic_nodes
         if dynamic is None:
@@ -1025,7 +1207,103 @@ class Topology:
                 )
             ]
             self._dynamic_nodes = dynamic
+        if not self._dirty and self._vector and self._incremental and self._built:
+            state = self._advance_state
+            if state is None:
+                state = self._advance_state = _classify_hardware(
+                    self.nodes, dynamic
+                )
+            if state is not False:
+                self._advance_fast(state)
+                return
         arena = self.arena
         for node in dynamic:
             node.advance(arena)
         self.invalidate()
+
+    def _advance_fast(self, state: "_AdvanceState") -> None:
+        """Vectorized battery drain + straight-line motion with handover.
+
+        Updates the node objects and leaves the change lists *with their
+        new values* in ``_advance_hint`` for the next refresh; the
+        px/py/pr mirrors are only written when the hint is consumed, so
+        a cleared hint (external invalidate) leaves the scan able to
+        re-detect every move against the un-touched mirrors.  Nodes that
+        would cross the arena boundary this step are delegated to the
+        scalar mobility model (reflection flips the stored velocity,
+        which only the model itself may mutate).
+        """
+        pr = self._pr
+        moved: List[NodeId] = []
+        moved_x: List[float] = []
+        moved_y: List[float] = []
+        range_changed: List[NodeId] = []
+        new_ranges: List[float] = []
+        arena = self.arena
+        movers = state.movers
+        if movers:
+            mover_ids = state.mover_ids
+            mx, my = state.mx, state.my
+            x = mx + state.vx
+            y = my + state.vy
+            oob = (x < 0.0) | (x > arena.width) | (y < 0.0) | (y > arena.height)
+            changed = (x != mx) | (y != my)
+            has_oob = bool(oob.any())
+            if has_oob:
+                changed &= ~oob
+            xs = x.tolist()
+            ys = y.tolist()
+            for k in _np.flatnonzero(changed).tolist():
+                i = mover_ids[k]
+                nx = xs[k]
+                ny = ys[k]
+                movers[k].position = Point(nx, ny)
+                moved.append(i)
+                moved_x.append(nx)
+                moved_y.append(ny)
+            if has_oob:
+                inb = ~oob
+                _np.copyto(mx, x, where=inb)
+                _np.copyto(my, y, where=inb)
+                vx, vy = state.vx, state.vy
+                for k in _np.flatnonzero(oob).tolist():
+                    node = movers[k]
+                    mob = node.mobility
+                    pos = mob.move(node.position, arena)
+                    node.position = pos
+                    if pos.x != mx[k] or pos.y != my[k]:
+                        i = mover_ids[k]
+                        moved.append(i)
+                        moved_x.append(pos.x)
+                        moved_y.append(pos.y)
+                    mx[k] = pos.x
+                    my[k] = pos.y
+                    # reflection may have flipped the stored velocity
+                    vx[k] = mob._vx
+                    vy[k] = mob._vy
+            else:
+                mx[:] = x
+                my[:] = y
+        for group in state.drain_groups:
+            levels = group.levels
+            if group.kind == "linear":
+                _np.subtract(levels, group.param, out=levels)
+            else:  # exponential
+                _np.multiply(levels, group.param, out=levels)
+            _np.maximum(levels, 0.0, out=levels)
+            _np.minimum(levels, 1.0, out=levels)
+            lv = levels.tolist()
+            for battery, level in zip(group.batteries, lv):
+                battery._level = level
+            # Inlined BatteryCoupledRange.current_range(): the scaled
+            # value is never negative (base > 0, level >= 0), so the
+            # floor clamp below is bit-identical to max(floor, scaled).
+            for k, i, base, exponent, floor in group.coupled:
+                r = base * (lv[k] ** exponent)
+                if r < floor:
+                    r = floor
+                if r != pr[i]:
+                    range_changed.append(i)
+                    new_ranges.append(r)
+        self._dirty = True
+        self._advance_hint = (moved, moved_x, moved_y, range_changed, new_ranges)

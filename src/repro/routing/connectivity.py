@@ -32,12 +32,18 @@ from repro.net.topology import Topology
 from repro.routing.table import TableBank
 from repro.types import NodeId
 
+try:  # optional acceleration; every algorithm has a pure-Python twin
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 __all__ = [
     "walk_to_gateway",
     "connectivity_fraction",
     "connected_nodes",
     "ConnectivityCache",
     "ConnectivityCacheStats",
+    "FunctionalConnectivity",
 ]
 
 #: Default hop budget for a validity walk.
@@ -343,3 +349,275 @@ class ConnectivityCache:
         self._traces.clear()
         self._users.clear()
         self._hop_users.clear()
+
+
+class FunctionalConnectivity:
+    """:func:`connected_nodes` via the *effective next hop* function.
+
+    A validity walk consults, at each node, the table's preference order
+    filtered twice: by the current out-neighbour set and by the walk's
+    own visited set.  The second filter only ever fires on a *repeat* —
+    the first time the walk would step onto a node it already visited.
+    Until that happens the walk simply follows
+
+        ``eff(w) = first hop in hops_by_preference(w) that is a current
+        out-neighbour of w``
+
+    which is a pure per-node function of ``w``'s next-hop signature and
+    out-edge set.  ``eff`` turns the network into a functional graph
+    (every node has at most one successor), and on that graph walk
+    outcomes compose: if the chain from ``w`` terminates (gateway or
+    dead end) without repeating a node, no chain *into* ``w`` can
+    overlap the chain out of it — an overlap would put ``w`` on a cycle
+    and the chain could never have terminated.  So one pass over the
+    nodes resolves every start by pointer-chasing with memoisation:
+    chase until a gateway, a dead end, or an already-resolved node, then
+    unwind distances onto the whole chain.  A start is connected iff its
+    chain reaches a gateway within ``walk_ttl`` hops.
+
+    Chains that *do* repeat a node (a routing loop) are where the
+    visited-set filter changes the outcome, so every node on such a
+    chain is marked tainted and evaluated by the exact per-node walk
+    instead.  Loops are rare — tables point toward gateways — so the
+    fallback stays cold.
+
+    ``eff`` is maintained across steps from the topology's edge-delta
+    stream and the per-table version counters (escalating to a
+    signature comparison, exactly like :class:`ConnectivityCache`);
+    the chase pass itself is rebuilt each call.  The result set is
+    identical to :func:`connected_nodes` by the argument above, which
+    the test suite property-checks under mobility, faults and route
+    churn.  Stats: ``hits`` counts memo reuses (and whole-result
+    replays when nothing changed), ``walks`` fresh chain evaluations,
+    ``invalidated`` recomputed ``eff`` entries, ``flushes`` full
+    rebuilds.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        tables: TableBank,
+        walk_ttl: int = DEFAULT_WALK_TTL,
+    ) -> None:
+        self.topology = topology
+        self.tables = tables
+        self.walk_ttl = walk_ttl
+        self.stats = ConnectivityCacheStats()
+        n = topology.node_count
+        self._eff: Optional[List[int]] = None  # built on first connected()
+        self._sigs: List[tuple] = [()] * n
+        self._live_gateways: Tuple[NodeId, ...] = ()
+        self._result: Optional[Set[NodeId]] = None
+        self._arange = None  # cached numpy arange for _evaluate_vector
+
+    def connected(self) -> Set[NodeId]:
+        """Every node with a currently valid route to some gateway.
+
+        Bit-identical to ``connected_nodes(topology, tables, walk_ttl)``.
+        """
+        topology = self.topology
+        stats = self.stats
+        delta = topology.take_edge_delta()  # refreshes the topology
+        touched = self.tables.take_touched()
+        gateways = tuple(topology.gateway_ids)
+        adjacency = topology.adjacency_view()
+        table_list = self.tables.tables
+        sigs = self._sigs
+        eff = self._eff
+        if eff is None or delta.full or gateways != self._live_gateways:
+            if self._result is not None:
+                stats.flushes += 1
+                self._result = None
+            self._live_gateways = gateways
+            for node, table in enumerate(table_list):
+                sigs[node] = table.hops_by_preference()
+            if _np is not None:
+                eff = self._eff = _np.full(len(table_list), -1, dtype=_np.int64)
+            else:
+                eff = self._eff = [-1] * len(table_list)
+            dirty: Set[NodeId] = set(range(len(table_list)))
+        else:
+            dirty = set()
+            if delta.removed:
+                for edge in delta.removed:
+                    dirty.add(edge[0])
+            if delta.added:
+                for edge in delta.added:
+                    dirty.add(edge[0])
+            for node in touched:
+                signature = table_list[node].hops_by_preference()
+                if signature != sigs[node]:
+                    sigs[node] = signature
+                    dirty.add(node)
+            stats.invalidated += len(dirty)
+            if not dirty and self._result is not None:
+                stats.hits += len(self._result)
+                return set(self._result)
+        for u in dirty:
+            neighbors = adjacency[u]
+            nxt = -1
+            if neighbors:
+                for hop in sigs[u]:
+                    if hop in neighbors:
+                        nxt = hop
+                        break
+            eff[u] = nxt
+        result = self._evaluate(adjacency, table_list, gateways)
+        self._result = set(result)
+        return result
+
+    def _evaluate(
+        self, adjacency, table_list, gateways: Tuple[NodeId, ...]
+    ) -> Set[NodeId]:
+        if _np is not None:
+            return self._evaluate_vector(adjacency, table_list, gateways)
+        return self._evaluate_scalar(adjacency, table_list, gateways)
+
+    def _evaluate_vector(
+        self, adjacency, table_list, gateways: Tuple[NodeId, ...]
+    ) -> Set[NodeId]:
+        """Resolve every chain at once by pointer doubling.
+
+        On the functional graph ``eff`` each node has one successor, so
+        ``k`` doubling rounds compose jumps of ``2**k`` steps: after
+        ``ceil(log2(n))`` rounds every chain that terminates (gateway or
+        dead end) has its pointer parked on the terminal and its exact
+        hop distance accumulated.  Terminals are self-loops with
+        distance zero, which makes the rounds unconditional — parked
+        chains simply stop growing.  Chains still unparked afterwards
+        repeat a node (a routing loop), exactly the tainted set of the
+        scalar pass, and fall back to the exact per-start walk in the
+        same ascending order with the same already-connected skip, so
+        the result set is bit-identical to :meth:`_evaluate_scalar`.
+        """
+        stats = self.stats
+        eff_arr = self._eff
+        n = len(eff_arr)
+        walk_ttl = self.walk_ttl
+        idx = self._arange
+        if idx is None or len(idx) != n:
+            idx = self._arange = _np.arange(n)
+        gw_mask = _np.zeros(n, dtype=bool)
+        gw_list = list(gateways)
+        gw_mask[gw_list] = True
+        resolved = (eff_arr < 0) | gw_mask  # terminals: dead ends + gateways
+        ptr = _np.where(resolved, idx, eff_arr)
+        d = _np.where(resolved, 0, 1)  # hops from i to ptr[i]
+        # Cover walk_ttl hops: a successful chain must park within the
+        # TTL anyway, and anything still unparked afterwards — cycle or
+        # over-long chain — goes to the exact walk, which is always
+        # correct (it is the definition, the doubling only accelerates).
+        cover = 1
+        while cover < walk_ttl:
+            d += d[ptr]
+            ptr = ptr[ptr]
+            cover <<= 1
+        parked = resolved[ptr]
+        success = parked & gw_mask[ptr] & (d <= walk_ttl)
+        result: Set[NodeId] = set(gw_list)
+        result.update(_np.flatnonzero(success).tolist())
+        stats.hits += int(success.sum())
+        cyc = _np.flatnonzero(~parked)
+        if cyc.size:
+            down = self.topology.down_ids
+            gateway_set = set(gw_list)
+            walks = 0
+            for node in cyc.tolist():
+                if node in result or node in down:
+                    continue
+                walks += 1
+                path, reached = _walk_trace_fast(
+                    node, adjacency, table_list, gateway_set, walk_ttl
+                )
+                if reached:
+                    result.update(path)
+            stats.walks += walks
+        return result
+
+    def _evaluate_scalar(
+        self, adjacency, table_list, gateways: Tuple[NodeId, ...]
+    ) -> Set[NodeId]:
+        topology = self.topology
+        stats = self.stats
+        eff = self._eff
+        n = len(eff)
+        walk_ttl = self.walk_ttl
+        gateway_set = set(gateways)
+        gw_flag = bytearray(n)
+        for g in gateways:
+            gw_flag[g] = 1
+        down = topology.down_ids
+        result: Set[NodeId] = set(gateways)
+        # Per-call chase state: 0 unknown, 1 on the current chase stack,
+        # 2 resolved functionally, 3 tainted (chain enters a loop).
+        state = bytearray(n)
+        reach = bytearray(n)
+        dist = [0] * n
+        hits = 0
+        walks = 0
+        for node in topology.node_ids:
+            if node in result or node in down:
+                continue
+            stack: List[NodeId] = []
+            cur = node
+            while True:
+                s = state[cur]
+                if s == 2:
+                    ok = reach[cur]
+                    base = dist[cur]
+                    hits += 1
+                    break
+                if s == 1 or s == 3:
+                    ok = -1  # loop found: exact-walk territory
+                    state[cur] = 3
+                    break
+                if gw_flag[cur]:
+                    state[cur] = 2
+                    reach[cur] = 1
+                    dist[cur] = 0
+                    ok = 1
+                    base = 0
+                    break
+                nxt = eff[cur]
+                if nxt < 0:
+                    state[cur] = 2
+                    reach[cur] = 0
+                    dist[cur] = 0
+                    ok = 0
+                    base = 0
+                    break
+                state[cur] = 1
+                stack.append(cur)
+                cur = nxt
+            if ok < 0:
+                # The chain repeats a node, so the visited-set filter
+                # may reroute it: taint the whole chain and fall back
+                # to the exact walk for this start (later starts on the
+                # chain each get their own exact walk).
+                for w in stack:
+                    state[w] = 3
+                walks += 1
+                path, reached = _walk_trace_fast(
+                    node, adjacency, table_list, gateway_set, walk_ttl
+                )
+                if reached:
+                    result.update(path)
+                continue
+            if stack:
+                walks += 1
+                d = base
+                for w in reversed(stack):
+                    d += 1
+                    state[w] = 2
+                    reach[w] = ok
+                    dist[w] = d
+            else:
+                d = base
+            if ok and d <= walk_ttl:
+                w = node
+                while not gw_flag[w]:
+                    result.add(w)
+                    w = eff[w]
+        stats.hits += hits
+        stats.walks += walks
+        return result

@@ -25,7 +25,7 @@ Staleness is controlled on two axes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.errors import RoutingError
 from repro.types import NodeId, Time
@@ -126,6 +126,11 @@ class RoutingTable:
         #: drops, clear, corruption) — lets caches notice at a glance
         #: that nothing here moved.
         self.version = 0
+        #: bank-owned touched-id set (wired by TableBank): lets a
+        #: single consumer ask "which tables changed since I looked?"
+        #: without scanning every version counter.
+        self._watch: Optional[Set[NodeId]] = None
+        self._watch_id: NodeId = 0
         self._ranked: Optional[List[RouteEntry]] = None
         self._hops_ranked: Optional[tuple] = None
         #: lower bound on the oldest ``installed_at`` present; lets
@@ -139,6 +144,9 @@ class RoutingTable:
         self.version += 1
         self._ranked = None
         self._hops_ranked = None
+        watch = self._watch
+        if watch is not None:
+            watch.add(self._watch_id)
 
     def install(self, entry: RouteEntry) -> bool:
         """Install ``entry`` unless a better route to its gateway exists.
@@ -175,6 +183,60 @@ class RoutingTable:
             self._touch()
             return True
         return False
+
+    def install_fast(
+        self,
+        gateway: NodeId,
+        next_hop: NodeId,
+        hops: int,
+        installed_at: Time,
+        gateway_seen_at: Time,
+        sequence: int,
+    ) -> bool:
+        """:meth:`install` from scalars, building an entry only on accept.
+
+        The batch agent engine installs tens of routes per step and most
+        lose — to the sequence floor, the guard, or a fresher incumbent.
+        Deciding on the raw fields first skips the frozen-dataclass
+        construction for every rejected write.  Verdicts and counter
+        effects are exactly :meth:`install`'s.
+        """
+        if hops < 1:
+            raise RoutingError(f"a route must be at least 1 hop, got {hops}")
+        if sequence < self._sequence_floors.get(gateway, 0):
+            return False
+        current = self._entries.get(gateway)
+        guard = self.guard
+        if guard is not None:
+            if sequence - installed_at > guard.max_sequence_ahead:
+                self.guard_rejections += 1
+                return False
+            if current is not None and current.hops - hops > guard.max_hop_improvement:
+                self.guard_rejections += 1
+                return False
+        if current is not None:
+            # Inlined RouteEntry.fresher_than on the raw fields.
+            if gateway_seen_at != current.gateway_seen_at:
+                if gateway_seen_at < current.gateway_seen_at:
+                    return False
+            elif hops != current.hops:
+                if hops > current.hops:
+                    return False
+            elif installed_at <= current.installed_at:
+                return False
+        self._entries[gateway] = RouteEntry(
+            gateway=gateway,
+            next_hop=next_hop,
+            hops=hops,
+            installed_at=installed_at,
+            gateway_seen_at=gateway_seen_at,
+            sequence=sequence,
+        )
+        self._sequence_floors[gateway] = sequence
+        if self._oldest is None or installed_at < self._oldest:
+            self._oldest = installed_at
+        self._touch()
+        return True
 
     def sequence_floor(self, gateway: NodeId) -> int:
         """The lowest sequence number still accepted toward ``gateway``."""
@@ -342,6 +404,11 @@ class TableBank:
         self._tables: List[RoutingTable] = [
             RoutingTable(ttl, guard) for __ in range(node_count)
         ]
+        #: ids of tables touched since the last :meth:`take_touched`.
+        self._touched: Set[NodeId] = set()
+        for node, table in enumerate(self._tables):
+            table._watch = self._touched
+            table._watch_id = node
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -357,6 +424,21 @@ class TableBank:
     def tables(self) -> List[RoutingTable]:
         """The per-node tables in id order — a read-only view for scans."""
         return self._tables
+
+    def take_touched(self) -> List[NodeId]:
+        """Ids of tables changed since the last call, clearing the set.
+
+        Single-consumer by design (like the topology's edge-delta
+        stream): the connectivity evaluator drains it each step instead
+        of scanning every table's version counter.  Version counters
+        still bump normally for everyone else.
+        """
+        touched = self._touched
+        if not touched:
+            return []
+        out = list(touched)
+        touched.clear()
+        return out
 
     def expire_all(self, now: Time) -> int:
         """Expire stale entries in every table; returns total dropped.

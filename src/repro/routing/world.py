@@ -23,6 +23,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.ant_agents import AntRoutingAgent
+from repro.core.batch import BatchAgentEngine, batch_agents_supported
 from repro.core.comms import exchange_routing_knowledge
 from repro.core.migration import ABANDONED, DELIVERED, ReliableMigration
 from repro.core.overhead import aggregate_overheads
@@ -38,7 +39,7 @@ from repro.net.topology import Topology
 from repro.obs.collector import ObsCollector, ObsConfig, ObsReport
 from repro.routing.connectivity import (
     DEFAULT_WALK_TTL,
-    ConnectivityCache,
+    FunctionalConnectivity,
     connectivity_fraction,
 )
 from repro.core.pheromone import PheromoneField
@@ -96,9 +97,9 @@ class RoutingWorldConfig:
     check_invariants: Optional[bool] = None
     # --- connectivity metric ---------------------------------------------
     #: serve the per-step metric from the delta-aware
-    #: :class:`~repro.routing.connectivity.ConnectivityCache` (identical
-    #: result, re-walks only what changed); ``False`` re-walks every node
-    #: every step, the reference path.
+    #: :class:`~repro.routing.connectivity.FunctionalConnectivity`
+    #: evaluator (identical result, re-walks only what changed);
+    #: ``False`` re-walks every node every step, the reference path.
     connectivity_cache: bool = True
     # --- observability ---------------------------------------------------
     #: ``None`` (default) records nothing — the zero-overhead path;
@@ -109,6 +110,14 @@ class RoutingWorldConfig:
     #: without the traffic subsystem; a
     #: :class:`~repro.traffic.plane.TrafficConfig` builds the plane.
     traffic: Optional[TrafficConfig] = None
+    # --- batch agent engine ----------------------------------------------
+    #: drive the agent phases through the vectorized SoA engine
+    #: (:class:`~repro.core.batch.BatchAgentEngine`, bit-identical to
+    #: the per-object path).  ``None`` auto-enables it when the agent
+    #: kind is supported and numpy is importable; ``False`` forces the
+    #: per-object oracle; ``True`` demands the engine (and raises if the
+    #: kind or environment cannot support it).
+    batch_agents: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -226,9 +235,9 @@ class RoutingWorld:
         if check or (check is None and default_invariants_enabled()):
             self.invariants = InvariantChecker(self)
             self.invariants.install()
-        self._conn_cache: Optional[ConnectivityCache] = None
+        self._conn_cache: Optional[FunctionalConnectivity] = None
         if config.connectivity_cache:
-            self._conn_cache = ConnectivityCache(
+            self._conn_cache = FunctionalConnectivity(
                 topology, self.tables, config.walk_ttl
             )
         # Observability is strictly opt-in: with obs unset no collector
@@ -248,6 +257,14 @@ class RoutingWorld:
                 stats.rebucketed,
             )
             self._obs_last_cache = (0, 0, 0)
+        # The batch engine loads its arrays from the freshly spawned
+        # agents; building it last keeps the load a pure snapshot.
+        self._batch: Optional[BatchAgentEngine] = None
+        use_batch = config.batch_agents
+        if use_batch is None:
+            use_batch = batch_agents_supported(config.agent_kind)
+        if use_batch:
+            self._batch = BatchAgentEngine(self)
         self.engine.add_process(self._step)
         # The data plane runs as its own process *after* the world step,
         # so payloads move over the tables the agents just wrote.  With
@@ -290,10 +307,27 @@ class RoutingWorld:
                     **kind_specific,
                 )
             )
-            # Starting on a gateway seeds a zero-hop track immediately.
-            if start in self._gateways:
-                agents[-1].stay(0, here_is_gateway=True)
+            # Every agent remembers where it started (starting on a
+            # gateway also seeds a zero-hop track immediately).  Without
+            # the uniform seed, off-gateway starters treated their own
+            # start node as never-visited while gateway starters did not.
+            agents[-1].stay(0, here_is_gateway=start in self._gateways)
         return agents
+
+    def set_batch_agents(self, enabled: bool) -> None:
+        """Switch between the SoA batch engine and the per-object oracle.
+
+        Mirrors ``Topology.set_vectorized``: both paths are bit-identical,
+        so flipping mid-run changes performance, never results.  Turning
+        the engine off flushes its arrays back into the agent objects;
+        turning it on snapshots the objects into fresh arrays.
+        """
+        if enabled:
+            if self._batch is None:
+                self._batch = BatchAgentEngine(self)
+        elif self._batch is not None:
+            self._batch.flush()
+            self._batch = None
 
     # ------------------------------------------------------------------
     # Dynamics
@@ -322,6 +356,74 @@ class RoutingWorld:
             self.health.advance(now)
         if profiler is not None:
             phase_started = profiler.lap("decay", phase_started)
+        # Agent phases 1-4 (decide / meet / move / install), via the SoA
+        # batch engine or the per-object oracle — bit-identical twins.
+        stepper = (
+            self._batch.step_agents
+            if self._batch is not None
+            else self._step_agents_objects
+        )
+        if profiler is None:
+            step_installs, __ = stepper(now, None, 0.0)
+        else:
+            step_installs, phase_started = stepper(now, profiler, phase_started)
+        if self._obs is not None:
+            self._obs.routes_installed(now, step_installs)
+            losses = self.channel.stats.losses
+            self._obs.channel_losses(now, losses - self._obs_last_losses)
+            self._obs_last_losses = losses
+            if self.health is not None:
+                self._obs.health_step(
+                    now,
+                    self.health.quarantined_count(),
+                    self.health.max_suspicion(),
+                )
+        # Metric.
+        if self._conn_cache is not None:
+            fraction = len(self._conn_cache.connected()) / topology.node_count
+        else:
+            fraction = connectivity_fraction(topology, self.tables, config.walk_ttl)
+        if self._obs is not None:
+            stats = topology.stats
+            last = self._obs_last_topo
+            self._obs.topology_churn(
+                now,
+                added=stats.edges_added - last[0],
+                removed=stats.edges_removed - last[1],
+                rebucketed=stats.rebucketed - last[2],
+            )
+            self._obs_last_topo = (
+                stats.edges_added,
+                stats.edges_removed,
+                stats.rebucketed,
+            )
+            if self._conn_cache is not None:
+                cache_stats = self._conn_cache.stats
+                last_cache = self._obs_last_cache
+                self._obs.connectivity_cache(
+                    now,
+                    hits=cache_stats.hits - last_cache[0],
+                    walks=cache_stats.walks - last_cache[1],
+                    invalidated=cache_stats.invalidated - last_cache[2],
+                )
+                self._obs_last_cache = (
+                    cache_stats.hits,
+                    cache_stats.walks,
+                    cache_stats.invalidated,
+                )
+        self.result.times.append(now)
+        self.result.connectivity.append(fraction)
+        self.engine.hooks.fire("connectivity_recorded", time=now, fraction=fraction)
+        if profiler is not None:
+            phase_started = profiler.lap("record", phase_started)
+            profiler.add("step", phase_started - step_started)
+
+    def _step_agents_objects(
+        self, now: Time, profiler, phase_started: float
+    ) -> Tuple[int, float]:
+        """The per-object agent phases — the batch engine's oracle twin."""
+        topology = self.topology
+        config = self.config
         agents = self._active_agents()
         # Phase 1: every agent decides from the *new* neighbourhood — or,
         # mid-migration, retries/waits per the reliable-hop protocol.
@@ -424,56 +526,7 @@ class RoutingWorld:
             )
         if profiler is not None:
             phase_started = profiler.lap("move", phase_started)
-        if self._obs is not None:
-            self._obs.routes_installed(now, step_installs)
-            losses = self.channel.stats.losses
-            self._obs.channel_losses(now, losses - self._obs_last_losses)
-            self._obs_last_losses = losses
-            if self.health is not None:
-                self._obs.health_step(
-                    now,
-                    self.health.quarantined_count(),
-                    self.health.max_suspicion(),
-                )
-        # Metric.
-        if self._conn_cache is not None:
-            fraction = len(self._conn_cache.connected()) / topology.node_count
-        else:
-            fraction = connectivity_fraction(topology, self.tables, config.walk_ttl)
-        if self._obs is not None:
-            stats = topology.stats
-            last = self._obs_last_topo
-            self._obs.topology_churn(
-                now,
-                added=stats.edges_added - last[0],
-                removed=stats.edges_removed - last[1],
-                rebucketed=stats.rebucketed - last[2],
-            )
-            self._obs_last_topo = (
-                stats.edges_added,
-                stats.edges_removed,
-                stats.rebucketed,
-            )
-            if self._conn_cache is not None:
-                cache_stats = self._conn_cache.stats
-                last_cache = self._obs_last_cache
-                self._obs.connectivity_cache(
-                    now,
-                    hits=cache_stats.hits - last_cache[0],
-                    walks=cache_stats.walks - last_cache[1],
-                    invalidated=cache_stats.invalidated - last_cache[2],
-                )
-                self._obs_last_cache = (
-                    cache_stats.hits,
-                    cache_stats.walks,
-                    cache_stats.invalidated,
-                )
-        self.result.times.append(now)
-        self.result.connectivity.append(fraction)
-        self.engine.hooks.fire("connectivity_recorded", time=now, fraction=fraction)
-        if profiler is not None:
-            phase_started = profiler.lap("record", phase_started)
-            profiler.add("step", phase_started - step_started)
+        return step_installs, phase_started
 
     def _suspect_link(self, agent: RoutingAgent, target: NodeId, now: Time) -> None:
         """Turn an abandoned hop into link-quality evidence.
@@ -500,6 +553,10 @@ class RoutingWorld:
     def run(self) -> RoutingResult:
         """Run the configured number of steps; return the result."""
         steps = self.engine.run(self.config.total_steps)
+        if self._batch is not None:
+            # Write the SoA arrays back so the aggregation below (and any
+            # caller inspecting agents) sees the complete per-object state.
+            self._batch.flush()
         team_overhead = aggregate_overheads(agent.overhead for agent in self.agents)
         self.result.overhead = team_overhead.per_decision()
         self.result.guard_rejections = self.tables.total_guard_rejections()

@@ -68,6 +68,35 @@ class TestHistoryProperties:
         if freshest is not None:
             assert freshest in {t for __, t in a.items()}
 
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=10),
+        visit_sequences,
+        visit_sequences,
+    )
+    @settings(max_examples=100)
+    def test_merge_trim_evicts_in_record_order(
+        self, capacity, peer_capacity, mine, theirs
+    ):
+        """merge_from's single-pass trim must evict exactly the entries
+        that repeated record()-style stalest-first eviction — min by
+        ``(time, id)`` — would have removed, one at a time."""
+        a = VisitHistory(capacity)
+        b = VisitHistory(peer_capacity)
+        for node, time in mine:
+            a.record(node, time)
+        for node, time in theirs:
+            b.record(node, time)
+        expected = a.snapshot()
+        for node, time in b.items():
+            if time > expected.get(node, NEVER):
+                expected[node] = time
+        while len(expected) > capacity:
+            stalest = min(expected.items(), key=lambda kv: (kv[1], kv[0]))[0]
+            del expected[stalest]
+        a.merge_from(b)
+        assert a.snapshot() == expected
+
 
 stamp_sequences = st.lists(
     st.tuples(agents, nodes, st.integers(min_value=0, max_value=100)), max_size=40

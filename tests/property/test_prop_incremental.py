@@ -13,7 +13,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.generator import GeneratorConfig, generate_manet_network
-from repro.routing.connectivity import ConnectivityCache, connected_nodes
+from repro.routing.connectivity import (
+    ConnectivityCache,
+    FunctionalConnectivity,
+    connected_nodes,
+)
 from repro.routing.table import RouteEntry, TableBank
 
 NODES = 24
@@ -133,3 +137,71 @@ class TestConnectivityCacheEquivalence:
                     )
                 )
             assert cache.connected() == connected_nodes(topology, bank, walk_ttl=16)
+
+
+class TestFunctionalConnectivityEquivalence:
+    """The eff-chase evaluator must match the exact per-node walks."""
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_matches_naive_walks_under_churn(self, seed, ops_seed, vectorized):
+        topology = build(seed, incremental=True, vectorized=vectorized)
+        bank = TableBank(NODES)
+        functional = FunctionalConnectivity(topology, bank, walk_ttl=16)
+        gateways = topology.all_gateway_ids
+        rng = random.Random(ops_seed)
+        for step in range(12):
+            topology.advance()
+            apply_ops(topology, random_fault_ops(rng, step))
+            for __ in range(rng.randrange(4)):
+                node = rng.randrange(NODES)
+                bank.table(node).install(
+                    RouteEntry(
+                        gateway=rng.choice(gateways),
+                        next_hop=rng.randrange(NODES),
+                        hops=1 + rng.randrange(4),
+                        installed_at=step,
+                        gateway_seen_at=step,
+                    )
+                )
+            assert functional.connected() == connected_nodes(
+                topology, bank, walk_ttl=16
+            )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_routing_loops_fall_back_to_exact_walks(self, seed):
+        """Two-node next-hop cycles taint the eff chain; the exact-walk
+        fallback (where the visited-set filter can re-route the walk)
+        must still match the naive evaluation."""
+        topology = build(seed, incremental=True)
+        bank = TableBank(NODES)
+        functional = FunctionalConnectivity(topology, bank, walk_ttl=16)
+        gateways = topology.all_gateway_ids
+        rng = random.Random(seed)
+        for step in range(8):
+            topology.advance()
+            # Deliberately install looping route pairs (a -> b, b -> a)
+            # plus a second preference so the filtered walk can escape.
+            for __ in range(2):
+                a = rng.randrange(NODES)
+                b = rng.randrange(NODES)
+                if a == b:
+                    continue
+                for u, v in ((a, b), (b, a)):
+                    bank.table(u).install(
+                        RouteEntry(
+                            gateway=rng.choice(gateways),
+                            next_hop=v,
+                            hops=1 + rng.randrange(3),
+                            installed_at=step,
+                            gateway_seen_at=step,
+                        )
+                    )
+            assert functional.connected() == connected_nodes(
+                topology, bank, walk_ttl=16
+            )

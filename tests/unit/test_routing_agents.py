@@ -71,6 +71,23 @@ class TestMovementAndTracks:
         agent.move_to(6, time=8, target_is_gateway=False)
         assert 3 not in agent.tracks
 
+    def test_track_survives_to_exactly_history_size_hops(self):
+        """The drop bound is ``track.hops + 1 <= history_size``: a track
+        must still install at exactly ``history_size`` hops and be
+        forgotten only on the hop after."""
+        agent = agent_of(RandomRoutingAgent, history=3)
+        agent.move_to(1, time=0, target_is_gateway=True)
+        agent.move_to(2, time=1, target_is_gateway=False)
+        agent.move_to(3, time=2, target_is_gateway=False)
+        agent.move_to(4, time=3, target_is_gateway=False)
+        # hops == history_size: still remembered and still installable.
+        assert agent.tracks[1] == GatewayTrack(hops=3, visited_at=0)
+        assert agent.installable_routes(came_from=3) == [(1, 3, 3, 0)]
+        agent.move_to(5, time=4, target_is_gateway=False)
+        # hops would become history_size + 1: forgotten.
+        assert 1 not in agent.tracks
+        assert agent.installable_routes(came_from=4) == []
+
     def test_move_returns_origin_and_records_history(self):
         agent = agent_of(RandomRoutingAgent, start=1)
         origin = agent.move_to(2, time=3, target_is_gateway=False)

@@ -54,6 +54,21 @@ class TestRoutingWorld:
         with pytest.raises(ConfigurationError):
             RoutingWorld(ring6, small_config(), seed=1)
 
+    def test_spawned_agents_remember_their_start_node(self, gateway_line4):
+        """Regression: off-gateway starters must seed their history with
+        the start node (time 0), exactly like gateway starters — without
+        it an oldest-node agent treated its own start as never-visited
+        and doubled back to it on the first tie."""
+        world = RoutingWorld(gateway_line4, small_config(population=8), seed=3)
+        gateways = set(world.topology.all_gateway_ids)
+        assert any(agent.location not in gateways for agent in world.agents)
+        for agent in world.agents:
+            assert agent.history.last_visit(agent.location) == 0
+            if agent.location in gateways:
+                assert agent.tracks[agent.location].hops == 0
+            else:
+                assert agent.tracks == {}
+
     def test_agents_build_connectivity_on_line(self, gateway_line4):
         result = run_routing(gateway_line4, small_config(), seed=1)
         # A static line with a gateway and wandering agents must end up
