@@ -25,6 +25,7 @@ import json
 import pathlib
 import random
 import sys
+from dataclasses import replace
 from time import perf_counter
 
 from repro.core.knowledge import TopologyKnowledge
@@ -34,6 +35,7 @@ from repro.obs.manifest import build_manifest
 from repro.routing.connectivity import connectivity_fraction
 from repro.routing.table import RouteEntry, TableBank
 from repro.routing.world import RoutingWorld, RoutingWorldConfig
+from repro.shard.world import ShardedRoutingWorld
 
 #: bumped when the baseline-file layout changes incompatibly.
 #: 2: added the naive twin workloads and the ``speedups`` section.
@@ -41,7 +43,12 @@ from repro.routing.world import RoutingWorld, RoutingWorldConfig
 #:    per-object oracle), the ``routing_world_step_batch`` pair
 #:    isolates the SoA agent engine at an agent-dominated population,
 #:    and every workload gets an untimed warmup round.
-BENCH_SCHEMA = 3
+#: 4: the sharded-arena pair: ``sharded_world_step`` drives the
+#:    tile-sharded world at 10k nodes (5k on smoke) against the serial
+#:    world on the same network; these run at their own per-workload
+#:    iteration counts (``ITERATION_OVERRIDES``) because a 10k-node
+#:    serial step is seconds, not microseconds.
+BENCH_SCHEMA = 4
 
 #: the same 250-node MANET the pytest benchmarks use.
 MANET_250 = GeneratorConfig(
@@ -63,10 +70,48 @@ MANET_60 = GeneratorConfig(
     mobile_fraction=0.5,
 )
 
+#: the scaling workload: big enough that per-step link maintenance
+#: dominates and the tile decomposition's O(tile + halo) recompute pays.
+MANET_10K = GeneratorConfig(
+    node_count=10_000,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=64,
+    mobile_fraction=0.5,
+)
+
+#: the smoke-scale twin of MANET_10K.  5k nodes is the smallest network
+#: where link maintenance clearly dominates the serial step (the tile
+#: win is ~1.5x at 2k but ~10x at 5k), so the smoke gate still proves
+#: the decomposition works rather than measuring noise.
+MANET_5K = GeneratorConfig(
+    node_count=5_000,
+    target_edges=None,
+    range_heterogeneity=0.25,
+    require_strong_connectivity=False,
+    gateway_count=32,
+    mobile_fraction=0.5,
+)
+
 #: (iterations per round, rounds) per scale.
 SCALES = {
     "full": (200, 5),
     "smoke": (20, 3),
+}
+
+#: per-workload (iterations, rounds) overrides: the 10k-node world
+#: steps run in seconds each, so they get a handful of iterations
+#: instead of the scale default.
+ITERATION_OVERRIDES = {
+    "full": {
+        "sharded_world_step": (12, 3),
+        "sharded_world_step_naive": (4, 3),
+    },
+    "smoke": {
+        "sharded_world_step": (8, 2),
+        "sharded_world_step_naive": (4, 2),
+    },
 }
 
 
@@ -211,6 +256,37 @@ def _workloads(scale):
         object_stepper.engine.step()
         return object_stepper.result.connectivity[-1]
 
+    # The sharded arena at scale: each spatial tile recomputes adjacency
+    # over its own halo only, so per-step link work is O(tile + halo)
+    # per tile instead of O(arena).  The naive twin is the serial world
+    # on the same network with the per-object agent stepper.
+    big = MANET_10K if scale == "full" else MANET_5K
+    shard_config = RoutingWorldConfig(
+        agent_kind="oldest-node",
+        population=200 if scale == "full" else 60,
+        visiting=True,
+        route_ttl=150,
+        total_steps=10_000_000,
+        converged_after=0,
+        check_invariants=False,
+        shards=8,
+    )
+    sharded_stepper = ShardedRoutingWorld(big, shard_config, 9, 10)
+
+    def sharded_step():
+        sharded_stepper.engine.step()
+        return sharded_stepper.result.connectivity[-1]
+
+    serial_big_stepper = RoutingWorld(
+        NetworkGenerator(big, 9).generate_manet(),
+        replace(shard_config, shards=None, batch_agents=False),
+        seed=10,
+    )
+
+    def sharded_step_naive():
+        serial_big_stepper.engine.step()
+        return serial_big_stepper.result.connectivity[-1]
+
     bank = TableBank(250, ttl=150)
     churn_rng = random.Random(8)
 
@@ -238,6 +314,8 @@ def _workloads(scale):
         ("routing_world_step_naive", world_step_naive),
         ("routing_world_step_batch", world_step_batch),
         ("routing_world_step_batch_naive", world_step_batch_naive),
+        ("sharded_world_step", sharded_step),
+        ("sharded_world_step_naive", sharded_step_naive),
         ("table_install_expire", table_churn),
     ]
 
@@ -249,6 +327,7 @@ SPEEDUP_PAIRS = {
     "topology_advance": "topology_advance_naive",
     "routing_world_step": "routing_world_step_naive",
     "routing_world_step_batch": "routing_world_step_batch_naive",
+    "sharded_world_step": "sharded_world_step_naive",
 }
 
 
@@ -264,10 +343,12 @@ def _speedups(results):
 def run_benchmarks(scale):
     """Run every workload at ``scale``; return the JSON-safe baseline."""
     iterations, rounds = SCALES[scale]
+    overrides = ITERATION_OVERRIDES[scale]
     results = {}
     for name, func in _workloads(scale):
         print(f"  {name} ...", file=sys.stderr, flush=True)
-        results[name] = _time_workload(func, iterations, rounds)
+        its, rds = overrides.get(name, (iterations, rounds))
+        results[name] = _time_workload(func, its, rds)
     return {
         "schema": BENCH_SCHEMA,
         "manifest": build_manifest(

@@ -34,7 +34,7 @@ import pathlib
 import sys
 
 #: baseline-file schema this gate understands.
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 
 #: workload used to normalize cross-machine speed differences: pure
 #: Python, allocation-heavy, and untouched by the incremental engine.
@@ -44,19 +44,23 @@ PROXY_WORKLOAD = "knowledge_merge"
 #: scale: the incremental engines win less on the 60-node smoke network
 #: than on the 250-node full one.  Deliberately below the measured
 #: values (full scale: ~2.6x world step, ~3.9x topology advance, ~1.3x
-#: isolated batch engine; smoke: ~1.8x world step) so CI noise does not
-#: flake the gate, but high enough that a broken or accidentally
-#: disabled fast path fails loudly.
+#: isolated batch engine, ~30x sharded arena at 10k nodes; smoke:
+#: ~1.8x world step, ~10x sharded arena at 5k nodes) so CI noise does
+#: not flake the gate, but high enough that a broken or accidentally
+#: disabled fast path fails loudly.  The 4.0x sharded floor is the
+#: scaling target the tile decomposition must clear at 10k nodes.
 DEFAULT_MIN_SPEEDUPS = {
     "full": {
         "routing_world_step": 2.0,
         "topology_advance": 3.0,
         "routing_world_step_batch": 1.15,
+        "sharded_world_step": 4.0,
     },
     "smoke": {
         "routing_world_step": 1.4,
         "topology_advance": 3.0,
         "routing_world_step_batch": 1.15,
+        "sharded_world_step": 4.0,
     },
 }
 

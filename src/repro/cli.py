@@ -178,6 +178,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate cross-layer invariants after every step (fail fast)",
     )
     run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "step every routing variant as N spatial arena tiles "
+            "(bit-identical results; scales to 10k+ nodes — see repro.shard)"
+        ),
+    )
+    run.add_argument(
+        "--tile-size",
+        type=float,
+        default=None,
+        metavar="LENGTH",
+        help="explicit tile edge length for --shards (shard count follows)",
+    )
+    run.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         help=(
@@ -400,6 +417,10 @@ def _command_run(args: argparse.Namespace) -> int:
         runner.set_default_table_guard(TableGuard())
     if args.route_ttl is not None:
         runner.set_default_route_ttl(args.route_ttl)
+    if args.shards is not None or args.tile_size is not None:
+        runner.set_default_shards(
+            args.shards if args.shards is not None else 1, args.tile_size
+        )
     if args.check_invariants:
         runner.set_default_check_invariants(True)
     if args.checkpoint_dir:
@@ -469,6 +490,8 @@ def _command_run(args: argparse.Namespace) -> int:
                 "adversary": args.adversary,
                 "quarantine": args.quarantine,
                 "check_invariants": args.check_invariants,
+                "shards": args.shards,
+                "tile_size": args.tile_size,
             },
         )
         if args.metrics_out:

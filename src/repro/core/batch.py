@@ -138,6 +138,19 @@ class BatchAgentEngine:
             (self._population, self._node_count), NEVER, dtype=_np.int64
         )
         self.visit_count = _np.zeros(self._population, dtype=_np.int64)
+        #: compact per-agent remembered-node ids: the first
+        #: ``visit_count`` slots of each row hold the nodes whose ``vt``
+        #: entry is live (order arbitrary), plus one spare slot for the
+        #: record-then-evict overshoot.  Keeps history eviction
+        #: O(capacity) per agent instead of an O(node_count) row scan.
+        self.visit_nodes = _np.full(
+            (self._population, self._capacity + 1), -1, dtype=_np.int64
+        )
+        # Grow-as-needed workspaces for the per-step candidate matrix
+        # (unique-location rows + the per-agent gather); rebuilding them
+        # every step dominated decide-phase allocation at scale.
+        self._cand_pad = _np.empty((0, 0), dtype=_np.int64)
+        self._cand_rows = _np.empty((0, 0), dtype=_np.int64)
         self._oh = {
             name: _np.zeros(self._population, dtype=_np.int64)
             for name in _OH_FIELDS
@@ -173,6 +186,10 @@ class BatchAgentEngine:
         for node, time in visits.items():
             vt_row[node] = time
         self.visit_count[index] = len(visits)
+        nodes_row = self.visit_nodes[index]
+        nodes_row.fill(-1)
+        if visits:
+            nodes_row[: len(visits)] = list(visits)
         if agent.migration.target is None:
             self._pending.discard(index)
         else:
@@ -372,6 +389,8 @@ class BatchAgentEngine:
         node ids padded with ``-1``, ``deg`` the per-row candidate count
         and ``valid`` the pad mask.  Candidates ascend within each row —
         the order ``sorted(out_neighbors)`` gives the per-object path.
+        ``cand`` is a view into a per-engine workspace, valid only until
+        the next call (the decide pass consumes it immediately).
         """
         locs = self.loc[acts]
         mask = self._world.topology._adj_mask
@@ -383,11 +402,28 @@ class BatchAgentEngine:
             if width == 0:
                 return None, None, None
             rows, cols = _np.nonzero(sub)
-            padded = _np.full((len(occupied), width), -1, dtype=_np.int64)
+            pad_buf = self._cand_pad
+            if pad_buf.shape[0] < len(occupied) or pad_buf.shape[1] < width:
+                pad_buf = self._cand_pad = _np.empty(
+                    (
+                        max(pad_buf.shape[0], len(occupied)),
+                        max(pad_buf.shape[1], width),
+                    ),
+                    dtype=_np.int64,
+                )
+            padded = pad_buf[: len(occupied), :width]
+            padded.fill(-1)
             offsets = _np.repeat(_np.cumsum(counts) - counts, counts)
             padded[rows, _np.arange(len(cols)) - offsets] = cols
             occ_rows = _np.searchsorted(occupied, locs)
-            cand = padded[occ_rows]
+            row_buf = self._cand_rows
+            if row_buf.shape[0] < len(locs) or row_buf.shape[1] < width:
+                row_buf = self._cand_rows = _np.empty(
+                    (max(row_buf.shape[0], len(locs)), max(row_buf.shape[1], width)),
+                    dtype=_np.int64,
+                )
+            cand = row_buf[: len(locs), :width]
+            _np.take(padded, occ_rows, axis=0, out=cand)
             deg = counts[occ_rows]
         else:
             # Pure-python topology twin: build rows from the dict view.
@@ -522,6 +558,9 @@ class BatchAgentEngine:
                 order = _np.lexsort((merged_nodes, times))
                 merged = merged.copy()
                 merged[merged_nodes[order[: merged_count - capacity]]] = NEVER
+                merged_nodes = _np.sort(
+                    merged_nodes[order[merged_count - capacity :]]
+                )
                 merged_count = capacity
             new_hops = _np.where(any_track, best_hops, -1)
             new_seen = _np.where(any_track, best_seen, 0)
@@ -549,6 +588,9 @@ class BatchAgentEngine:
                 self.track_seen[rec] = new_seen
                 self.vt[rec] = merged
                 self.visit_count[rec] = merged_count
+                nodes_row = _np.full(capacity + 1, -1, dtype=_np.int64)
+                nodes_row[:merged_count] = merged_nodes
+                self.visit_nodes[rec] = nodes_row
                 oh_received[rec] += payload
         return meetings
 
@@ -786,22 +828,39 @@ class BatchAgentEngine:
         return step_installs
 
     def _record_visits(self, acts: "_np.ndarray", now: Time) -> None:
-        """Vectorized ``VisitHistory.record`` for every acting agent."""
+        """Vectorized ``VisitHistory.record`` for every acting agent.
+
+        Eviction scans only the compact ``visit_nodes`` rows — O(capacity)
+        per over-full agent, not an O(node_count) sweep of ``vt``.  The
+        stalest entry is the minimum of packed ``time * n + node``, which
+        is exactly ``record()``'s min-(time, node) tie-break; it is then
+        swap-removed with the row's last occupied slot.
+        """
         where = self.loc[acts]
         previous = self.vt[acts, where]
         self.vt[acts, where] = now
-        self.visit_count[acts] += previous == NEVER
+        appended = previous == NEVER
+        if appended.any():
+            new_rows = acts[appended]
+            slots = self.visit_count[new_rows]
+            self.visit_nodes[new_rows, slots] = where[appended]
+            self.visit_count[new_rows] = slots + 1
         over = acts[self.visit_count[acts] > self._capacity]
         if len(over):
-            sub = self.vt[over]
-            remembered = sub != NEVER
-            masked = _np.where(remembered, sub, _BIG)
-            stalest_time = masked.min(axis=1)
-            # min-(time, id): the first remembered column at the minimum
-            # time is the smallest node id — record()'s tie-break.
-            stalest = (masked == stalest_time[:, None]).argmax(axis=1)
-            self.vt[over, stalest] = NEVER
-            self.visit_count[over] -= 1
+            nodes = self.visit_nodes[over]
+            occupied = nodes >= 0
+            safe = _np.where(occupied, nodes, 0)
+            times = self.vt[over[:, None], safe]
+            packed = _np.where(
+                occupied, times * self._node_count + safe, _BIG
+            )
+            evict_col = packed.argmin(axis=1)
+            row_idx = _np.arange(len(over), dtype=_np.int64)
+            self.vt[over, nodes[row_idx, evict_col]] = NEVER
+            last = self.visit_count[over] - 1
+            self.visit_nodes[over, evict_col] = self.visit_nodes[over, last]
+            self.visit_nodes[over, last] = -1
+            self.visit_count[over] = last
 
 
 def _forged_sequence_ahead() -> int:

@@ -92,6 +92,7 @@ __all__ = [
     "set_default_table_guard",
     "set_default_adversary",
     "set_default_batch_agents",
+    "set_default_shards",
     "set_task_limits",
 ]
 
@@ -231,6 +232,11 @@ class RunDefaults:
     #: batch-agent engine override for routing variants that leave it on
     #: auto (``None``).  Mapping worlds carry no such knob and are skipped.
     batch_agents: Optional[bool] = None
+    #: sharded-arena tiling for routing variants that carry none of their
+    #: own: shard count and optional explicit tile edge length (see
+    #: :mod:`repro.shard`).  Mapping worlds carry no such knob.
+    shards: Optional[int] = None
+    tile_size: Optional[float] = None
 
 
 #: the process-wide defaults the CLI flag setters mutate.
@@ -367,6 +373,25 @@ def set_default_batch_agents(batch: Optional[bool]) -> None:
     _GLOBAL_DEFAULTS.batch_agents = batch
 
 
+def set_default_shards(
+    shards: Optional[int], tile_size: Optional[float] = None
+) -> None:
+    """Set the sharded-arena default for routing variants that carry none.
+
+    The CLI's ``--shards``/``--tile-size`` flags route through here:
+    every routing variant without its own tiling runs as a
+    :class:`~repro.shard.world.ShardedRoutingWorld` (bit-identical to
+    the serial world at any shard count).  ``None`` restores the serial
+    path.
+    """
+    if shards is not None and shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if tile_size is not None and tile_size <= 0:
+        raise ConfigurationError(f"tile_size must be > 0, got {tile_size}")
+    _GLOBAL_DEFAULTS.shards = shards
+    _GLOBAL_DEFAULTS.tile_size = tile_size
+
+
 def set_task_limits(
     timeout: Optional[float] = None, retries: Optional[int] = None
 ) -> None:
@@ -472,6 +497,14 @@ def _with_run_defaults(
             and config.batch_agents is None
         ):
             changes["batch_agents"] = defaults.batch_agents
+        if (
+            defaults.shards is not None
+            and hasattr(config, "shards")
+            and config.shards is None
+        ):
+            changes["shards"] = defaults.shards
+            if defaults.tile_size is not None and config.tile_size is None:
+                changes["tile_size"] = defaults.tile_size
         adjusted[name] = dataclasses.replace(config, **changes) if changes else config
     return adjusted
 
@@ -536,6 +569,16 @@ def _routing_task(
 ) -> Tuple[str, int, RoutingResult]:
     """One (variant, run) routing execution — top-level for pickling."""
     name, generator_config, world_config, network_seed, world_seed, run_index = task
+    if world_config.shards is not None or world_config.tile_size is not None:
+        # Tiled variants step through the sharded world (bit-identical
+        # to the serial path; the generator call moves inside so each
+        # tile can skip the O(n²) incremental adjacency workspaces).
+        from repro.shard.world import run_sharded_routing
+
+        result = run_sharded_routing(
+            generator_config, world_config, network_seed, world_seed
+        )
+        return name, run_index, result
     topology = NetworkGenerator(generator_config, network_seed).generate_manet()
     result = RoutingWorld(topology, world_config, world_seed).run()
     return name, run_index, result

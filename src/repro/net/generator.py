@@ -224,8 +224,14 @@ class NetworkGenerator:
     # Dynamic MANET networks
     # ------------------------------------------------------------------
 
-    def generate_manet(self) -> Topology:
-        """A MANET: gateways + static nodes + battery-powered mobile nodes."""
+    def generate_manet(self, incremental: bool = True) -> Topology:
+        """A MANET: gateways + static nodes + battery-powered mobile nodes.
+
+        ``incremental=False`` skips the incremental adjacency engine and
+        its O(n²) workspaces — the sharded runtime recomputes adjacency
+        per spatial tile and only wants the node fleet, so at 10k+ nodes
+        the difference is gigabytes.
+        """
         config = self.config
         arena = Arena(config.arena_width, config.arena_height)
         rng = self._spawner.stream("manet:placement")
@@ -266,8 +272,11 @@ class NetworkGenerator:
                 nodes.append(
                     Node(node_id, position, radio, battery=battery, mobility=mobility)
                 )
-        topology = Topology(nodes, arena)
-        topology.recompute()
+        topology = Topology(nodes, arena, incremental=incremental)
+        if incremental:
+            # Sharded consumers never read this topology's adjacency, so
+            # leave it unbuilt; any later accessor recomputes on demand.
+            topology.recompute()
         return topology
 
 

@@ -241,6 +241,12 @@ class Topology:
         #: ``False`` means some node defies it (custom models) and the
         #: scalar loop is permanent.
         self._advance_state: object = None
+        #: motion-only mirrors for :meth:`advance_motion` (position and
+        #: range arrays over *all* nodes, kept current every call).
+        #: Independent of the incremental engine's px/py/pr mirrors so a
+        #: non-incremental topology can advance motion without ever
+        #: paying for adjacency state.
+        self._m_ax = self._m_ay = self._m_ar = None
         self._cell: Optional[float] = None
         self._grid: Dict[int, Set[NodeId]] = {}
         self._cx: List[int] = []
@@ -1233,7 +1239,21 @@ class Topology:
         scalar mobility model (reflection flips the stored velocity,
         which only the model itself may mutate).
         """
-        pr = self._pr
+        self._advance_hint = self._advance_kinematics(state, self._pr)
+        self._dirty = True
+
+    def _advance_kinematics(
+        self, state: "_AdvanceState", pr
+    ) -> Tuple[list, list, list, list, list]:
+        """Vectorized battery drain + motion; returns the change hint.
+
+        ``pr`` is the previous-range lookup (node id -> last known
+        range) used to suppress no-op range reports — the incremental
+        engine passes its ``_pr`` list, :meth:`advance_motion` its own
+        range array.  The node objects are updated in place; the hint
+        ``(moved_ids, xs, ys, range_changed_ids, ranges)`` carries the
+        new values for whichever mirror the caller maintains.
+        """
         moved: List[NodeId] = []
         moved_x: List[float] = []
         moved_y: List[float] = []
@@ -1305,5 +1325,73 @@ class Topology:
                 if r != pr[i]:
                     range_changed.append(i)
                     new_ranges.append(r)
+        return (moved, moved_x, moved_y, range_changed, new_ranges)
+
+    def _init_motion_mirrors(self) -> None:
+        nodes = self.nodes
+        self._m_ax = _np.array([node.position.x for node in nodes], dtype=float)
+        self._m_ay = _np.array([node.position.y for node in nodes], dtype=float)
+        self._m_ar = _np.array([node.current_range() for node in nodes], dtype=float)
+
+    def motion_state(self):
+        """Current ``(x, y, range)`` float arrays over all nodes, by id.
+
+        The arrays are the live motion mirrors maintained by
+        :meth:`advance_motion` — callers must treat them as read-only
+        snapshots that change in place on the next advance.  Requires
+        numpy (the sharded runtime does too).
+        """
+        if _np is None:  # pragma: no cover - numpy ships with the toolchain
+            raise TopologyError("motion_state requires numpy")
+        if self._m_ax is None:
+            self._init_motion_mirrors()
+        return self._m_ax, self._m_ay, self._m_ar
+
+    def advance_motion(self) -> None:
+        """Advance batteries and motion only, leaving adjacency unbuilt.
+
+        The sharded runtime owns adjacency per spatial tile, so the
+        per-step cost it wants from the topology is *exactly* the
+        kinematics: node positions, velocities, battery levels and
+        coupled ranges — never the O(n) change scan or any edge state.
+        Runs the same vectorized update as :meth:`advance` (bit-identical
+        to the scalar :meth:`Node.advance` loop) and folds the change
+        hint straight into the :meth:`motion_state` arrays.  The
+        adjacency is marked stale; a later :meth:`recompute` (if anyone
+        asks) starts from scratch.
+        """
+        if _np is None:  # pragma: no cover - numpy ships with the toolchain
+            raise TopologyError("advance_motion requires numpy")
+        dynamic = self._dynamic_nodes
+        if dynamic is None:
+            dynamic = [
+                node
+                for node in self.nodes
+                if not (
+                    isinstance(node.mobility, Stationary)
+                    and isinstance(node.battery._drain_model, NoDrain)
+                )
+            ]
+            self._dynamic_nodes = dynamic
+        if self._m_ax is None:
+            self._init_motion_mirrors()
+        state = self._advance_state
+        if state is None:
+            state = self._advance_state = _classify_hardware(self.nodes, dynamic)
+        if state is not False:
+            moved, moved_x, moved_y, range_changed, new_ranges = (
+                self._advance_kinematics(state, self._m_ar)
+            )
+            if moved:
+                self._m_ax[moved] = moved_x
+                self._m_ay[moved] = moved_y
+            if range_changed:
+                self._m_ar[range_changed] = new_ranges
+        else:
+            arena = self.arena
+            for node in dynamic:
+                node.advance(arena)
+            self._init_motion_mirrors()
         self._dirty = True
-        self._advance_hint = (moved, moved_x, moved_y, range_changed, new_ranges)
+        self._built = False
+        self._advance_hint = None

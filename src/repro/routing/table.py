@@ -359,6 +359,39 @@ class RoutingTable:
             self._touch()
         return len(doomed)
 
+    def export_state(self) -> dict:
+        """Detach this table's logical contents for transfer.
+
+        The sharded runtime hands a node's table between tile banks when
+        the node crosses a tile boundary.  Everything that defines the
+        node's routing memory travels — entries, sequence floors, the
+        monotonic guard-rejection count, the expiry bound — while the
+        bank wiring (ttl, guard, touched-set watch) stays with each
+        bank's own table object.  The origin table is left empty, as if
+        freshly built; the returned dict is plain picklable data for
+        :meth:`adopt_state` on the destination.
+        """
+        state = {
+            "entries": self._entries,
+            "floors": self._sequence_floors,
+            "guard_rejections": self.guard_rejections,
+            "oldest": self._oldest,
+        }
+        self._entries = {}
+        self._sequence_floors = {}
+        self.guard_rejections = 0
+        self._oldest = None
+        self._touch()
+        return state
+
+    def adopt_state(self, state: dict) -> None:
+        """Take over contents captured by :meth:`export_state`."""
+        self._entries = state["entries"]
+        self._sequence_floors = state["floors"]
+        self.guard_rejections = state["guard_rejections"]
+        self._oldest = state["oldest"]
+        self._touch()
+
     def corrupt(self, rng, node_ids: List[NodeId]) -> int:
         """Scramble every entry's next hop to a random node (fault model).
 

@@ -118,6 +118,15 @@ class RoutingWorldConfig:
     #: per-object oracle; ``True`` demands the engine (and raises if the
     #: kind or environment cannot support it).
     batch_agents: Optional[bool] = None
+    # --- sharded arena ---------------------------------------------------
+    #: partition the arena into this many spatial tiles and step them as
+    #: independent workers exchanging only boundary state (see
+    #: :mod:`repro.shard`).  ``None`` (default) runs the serial world;
+    #: the sharded world is bit-identical at any shard count.
+    shards: Optional[int] = None
+    #: explicit tile edge length; overrides the tile shape derived from
+    #: ``shards`` (the shard count then follows from the arena size).
+    tile_size: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -132,6 +141,12 @@ class RoutingWorldConfig:
             raise ConfigurationError(
                 "converged_after must lie within the run "
                 f"(0..{self.total_steps}), got {self.converged_after}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.tile_size is not None and self.tile_size <= 0:
+            raise ConfigurationError(
+                f"tile_size must be > 0, got {self.tile_size}"
             )
 
 

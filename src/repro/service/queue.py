@@ -15,13 +15,18 @@ directory instead of restarting.  ``refresh()`` replays any records
 other processes appended since the last read, so ``repro submit`` and
 ``repro cancel`` work against a live ``repro serve``.
 
-One service process per directory: the journal serializes state, not
-claims, so two servers draining the same directory would race.
+Multiple service processes may drain one directory: claims are
+serialized by per-job lock files under ``<directory>/locks/``.  A
+server only transitions a job to ``running`` after atomically creating
+``locks/<job_id>.lock`` (``O_CREAT | O_EXCL``); the file is removed
+when the job reaches a terminal state, and stale locks left by a dead
+server are swept during recovery alongside the ``running`` re-queue.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from dataclasses import dataclass, field
@@ -104,6 +109,7 @@ class JobQueue:
         """
         self.directory = pathlib.Path(directory)
         self.path = self.directory / "jobs.jsonl"
+        self.locks_dir = self.directory / "locks"
         self._jobs: Dict[str, Job] = {}
         self._submit_count = 0
         if self.path.exists():
@@ -197,8 +203,42 @@ class JobQueue:
         self._jobs = jobs
         self._submit_count = submit_count
 
+    # ------------------------------------------------------------------
+    # Claim locks
+    # ------------------------------------------------------------------
+
+    def _lock_path(self, job_id: str) -> pathlib.Path:
+        return self.locks_dir / f"{job_id}.lock"
+
+    def _acquire_lock(self, job_id: str) -> bool:
+        """Atomically create the job's lock file; False if held."""
+        self.locks_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                self._lock_path(job_id),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _release_lock(self, job_id: str) -> None:
+        try:
+            self._lock_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
+
     def _recover(self) -> None:
-        """Re-queue jobs a dead process left ``running``."""
+        """Re-queue jobs a dead process left ``running``.
+
+        Their claim locks are stale — the owning process is gone — so
+        they are swept here too; otherwise no live server could ever
+        re-claim the recovered jobs.
+        """
         for job in self._jobs.values():
             if job.state == "running":
                 self._append(
@@ -212,6 +252,7 @@ class JobQueue:
                 )
                 job.state = "queued"
                 job.error = None
+                self._release_lock(job.job_id)
 
     def refresh(self) -> None:
         """Replay records other processes appended since the last read."""
@@ -273,13 +314,25 @@ class JobQueue:
         return sorted(queued, key=lambda job: (-job.priority, job.seq))
 
     def claim_next(self) -> Optional[Job]:
-        """Mark the best queued job ``running`` and return it."""
-        pending = self.pending()
-        if not pending:
-            return None
-        job = pending[0]
-        self.transition(job.job_id, "running")
-        return job
+        """Lock and mark the best claimable queued job ``running``.
+
+        Candidates are tried in claim order; one whose lock file is held
+        by another server is skipped.  After winning a lock the journal
+        is re-read — the previous holder may have finished the job since
+        our last refresh — and the claim is abandoned (lock released)
+        unless the job is still queued.
+        """
+        for candidate in self.pending():
+            if not self._acquire_lock(candidate.job_id):
+                continue
+            self.refresh()
+            job = self._jobs.get(candidate.job_id)
+            if job is None or job.state != "queued" or job.cancel_requested:
+                self._release_lock(candidate.job_id)
+                continue
+            self.transition(job.job_id, "running")
+            return job
+        return None
 
     def transition(
         self,
@@ -307,6 +360,7 @@ class JobQueue:
             job.finished_at = at
             job.error = error
             job.drift = list(drift or [])
+            self._release_lock(job_id)
         elif state == "queued":
             job.error = None
             job.drift = []

@@ -1,0 +1,272 @@
+"""Spatial tiling: ownership, halos, and per-tile adjacency recompute.
+
+A :class:`TileGrid` cuts the arena into an ``nx x ny`` rectangle grid.
+Every node is *owned* by exactly one tile — the one its current
+position falls in — and ownership is re-derived from positions each
+step, so a mobile node crossing a tile edge is handed over explicitly
+(table, stigmergy board, resident agents, previous out-edge rows).
+
+:class:`TileAdjacency` recomputes one tile's slice of the directed
+adjacency — the out-edges of the tile's owned nodes — from scratch
+every step with a vectorized cell grid over the tile's *halo*: owned
+nodes plus every node within the maximum radio range of the tile
+rectangle.  Because radio ranges only ever shrink (batteries drain,
+radios degrade), the construction-time maximum range is a sound halo
+pad for the whole run.  Edges are kept as packed ``u * n + v`` int64
+arrays; per-step added/removed deltas come from sorted set difference
+against the previous step, which makes the tile streams concatenate
+into exactly the serial topology's edge-delta stream.
+
+The link predicate is the serial engine's, bit for bit:
+``dx*dx + dy*dy <= r*r`` in IEEE doubles with ``r`` the *sender's*
+current range, excluding self-loops.  The cell size and halo pad only
+choose how many candidates are examined, never the outcome.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+try:  # the sharded runtime is vectorized-only; world.py gates on this
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+__all__ = ["TileGrid", "TileAdjacency", "unpack_edges"]
+
+
+def _factor_tiles(count: int, width: float, height: float) -> Tuple[int, int]:
+    """Split ``count`` tiles into the grid with the squarest tiles."""
+    best: Optional[Tuple[float, int, int]] = None
+    for ny in range(1, count + 1):
+        if count % ny:
+            continue
+        nx = count // ny
+        skew = abs(width / nx - height / ny)
+        if best is None or skew < best[0]:
+            best = (skew, nx, ny)
+    assert best is not None
+    return best[1], best[2]
+
+
+class TileGrid:
+    """The arena's rectangular tile decomposition.
+
+    Built either from a shard count (``shards`` tiles factored into the
+    grid with the squarest tiles) or from an explicit ``tile_size``
+    (square-ish tiles of roughly that edge length; the shard count
+    follows).  Ownership is clipped floor division, so positions exactly
+    on the far arena edge belong to the last tile.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        shards: Optional[int] = None,
+        tile_size: Optional[float] = None,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"arena must have positive extent, got {width}x{height}"
+            )
+        if tile_size is not None:
+            if tile_size <= 0:
+                raise ConfigurationError(f"tile_size must be > 0, got {tile_size}")
+            nx = max(1, math.ceil(width / tile_size))
+            ny = max(1, math.ceil(height / tile_size))
+        else:
+            count = 1 if shards is None else shards
+            if count < 1:
+                raise ConfigurationError(f"shards must be >= 1, got {count}")
+            nx, ny = _factor_tiles(count, width, height)
+        self.width = width
+        self.height = height
+        self.nx = nx
+        self.ny = ny
+        self.tiles = nx * ny
+        self.tile_w = width / nx
+        self.tile_h = height / ny
+
+    def owners(self, xs, ys):
+        """Owning tile of every position (vectorized, clipped)."""
+        tx = _np.minimum((xs / self.tile_w).astype(_np.int64), self.nx - 1)
+        ty = _np.minimum((ys / self.tile_h).astype(_np.int64), self.ny - 1)
+        return ty * self.nx + tx
+
+    def owner_of(self, x: float, y: float) -> int:
+        """Owning tile of one position (scalar twin of :meth:`owners`)."""
+        tx = min(int(x / self.tile_w), self.nx - 1)
+        ty = min(int(y / self.tile_h), self.ny - 1)
+        return ty * self.nx + tx
+
+    def bounds(self, tile: int) -> Tuple[float, float, float, float]:
+        """The tile's rectangle ``(x0, y0, x1, y1)``."""
+        if not 0 <= tile < self.tiles:
+            raise ConfigurationError(f"no tile {tile} in a {self.nx}x{self.ny} grid")
+        tx = tile % self.nx
+        ty = tile // self.nx
+        return (
+            tx * self.tile_w,
+            ty * self.tile_h,
+            (tx + 1) * self.tile_w,
+            (ty + 1) * self.tile_h,
+        )
+
+
+def unpack_edges(packed, node_count: int) -> List[Tuple[int, int]]:
+    """Packed ``u * n + v`` int64 edges as ``(u, v)`` tuples."""
+    if len(packed) == 0:
+        return []
+    u, v = _np.divmod(packed, node_count)
+    return list(zip(u.tolist(), v.tolist()))
+
+
+#: offsets of the 3x3 cell neighbourhood, flattened with the cell keys.
+_DX = None
+_DY = None
+
+
+def _neighbourhood():
+    global _DX, _DY
+    if _DX is None:
+        offs = _np.array([-1, 0, 1], dtype=_np.int64)
+        _DX = _np.repeat(offs, 3)
+        _DY = _np.tile(offs, 3)
+    return _DX, _DY
+
+
+class TileAdjacency:
+    """One tile's out-edges, recomputed per step from positions.
+
+    ``cell`` must be at least the largest radio range any node will
+    ever have (ranges only shrink), so a sender's every in-range
+    receiver sits in the 3x3 cell neighbourhood around it; the halo
+    ``pad`` (one cell) bounds which nodes can receive from an owned
+    sender.  ``stride`` linearizes 2-D cell keys and must exceed the
+    largest y-cell index by 2 so the ±1 neighbourhood never aliases.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        bounds: Tuple[float, float, float, float],
+        cell: float,
+        stride: int,
+    ) -> None:
+        if _np is None:  # pragma: no cover - numpy ships with the toolchain
+            raise ConfigurationError("TileAdjacency requires numpy")
+        if cell <= 0:
+            raise ConfigurationError(f"cell must be > 0, got {cell}")
+        self.node_count = node_count
+        self.x0, self.y0, self.x1, self.y1 = bounds
+        self.cell = cell
+        self.pad = cell
+        self.stride = stride
+        #: current out-edges of owned nodes, packed ``u * n + v``, sorted.
+        self.edges = _np.empty(0, dtype=_np.int64)
+
+    def refresh(self, owned, ax, ay, ar):
+        """Recompute owned nodes' out-edges; return ``(added, removed)``.
+
+        ``owned`` is the sorted id array of nodes this tile owns;
+        ``ax``/``ay``/``ar`` are the global position/range arrays.  The
+        deltas are packed int64 arrays relative to the edge set left by
+        the previous call (after any hand-over row moves).
+        """
+        n = self.node_count
+        if owned.size == 0:
+            new = _np.empty(0, dtype=_np.int64)
+        else:
+            cell = self.cell
+            stride = self.stride
+            pad = self.pad
+            box = (
+                (ax >= self.x0 - pad)
+                & (ax <= self.x1 + pad)
+                & (ay >= self.y0 - pad)
+                & (ay <= self.y1 + pad)
+            )
+            cand = _np.flatnonzero(box)
+            ckey = (ax[cand] / cell).astype(_np.int64) * stride + (
+                ay[cand] / cell
+            ).astype(_np.int64)
+            order = _np.argsort(ckey, kind="stable")
+            cand = cand[order]
+            ckey = ckey[order]
+            ox = (ax[owned] / cell).astype(_np.int64)
+            oy = (ay[owned] / cell).astype(_np.int64)
+            dx_off, dy_off = _neighbourhood()
+            nk = ((ox[:, None] + dx_off) * stride + (oy[:, None] + dy_off)).ravel()
+            lo = _np.searchsorted(ckey, nk, side="left")
+            hi = _np.searchsorted(ckey, nk, side="right")
+            lens = hi - lo
+            total = int(lens.sum())
+            if total:
+                # Ragged gather: candidate index runs [lo, hi) per
+                # neighbourhood cell, flattened without a Python loop.
+                starts = _np.repeat(lo, lens)
+                csum = _np.concatenate(
+                    (_np.zeros(1, dtype=_np.int64), _np.cumsum(lens)[:-1])
+                )
+                pos = _np.arange(total, dtype=_np.int64) - _np.repeat(csum, lens)
+                cidx = cand[starts + pos]
+                per_sender = lens.reshape(-1, 9).sum(axis=1)
+                uidx = _np.repeat(owned, per_sender)
+                dxv = ax[cidx] - ax[uidx]
+                dyv = ay[cidx] - ay[uidx]
+                r = ar[uidx]
+                # The serial predicate, bit for bit: sender range,
+                # squared distance, self-loop excluded.
+                ok = (dxv * dxv + dyv * dyv <= r * r) & (uidx != cidx)
+                new = uidx[ok] * n + cidx[ok]
+                new.sort()
+            else:
+                new = _np.empty(0, dtype=_np.int64)
+        added = _np.setdiff1d(new, self.edges, assume_unique=True)
+        removed = _np.setdiff1d(self.edges, new, assume_unique=True)
+        self.edges = new
+        return added, removed
+
+    def neighbors_of(self, node: int):
+        """Current out-neighbour set of an owned node."""
+        n = self.node_count
+        base = node * n
+        edges = self.edges
+        lo = _np.searchsorted(edges, base, side="left")
+        hi = _np.searchsorted(edges, base + n, side="left")
+        return set((edges[lo:hi] - base).tolist())
+
+    def extract_rows(self, departing) -> Dict[int, "object"]:
+        """Remove and return the out-edge rows of departing nodes.
+
+        The rows ride the hand-over so the destination tile's next
+        ``refresh`` diffs against the node's true previous edges — a
+        drop-and-rebuild would emit spurious remove+add pairs that the
+        serial delta stream never contains.
+        """
+        edges = self.edges
+        if edges.size == 0 or len(departing) == 0:
+            return {}
+        mask = _np.isin(edges // self.node_count, departing)
+        taken = edges[mask]
+        self.edges = edges[~mask]
+        rows: Dict[int, object] = {}
+        n = self.node_count
+        for node in _np.asarray(departing).tolist():
+            lo = _np.searchsorted(taken, node * n, side="left")
+            hi = _np.searchsorted(taken, (node + 1) * n, side="left")
+            if hi > lo:
+                rows[node] = taken[lo:hi]
+        return rows
+
+    def absorb_rows(self, rows) -> None:
+        """Adopt previous out-edge rows arriving with handed-over nodes."""
+        if len(rows) == 0:
+            return
+        merged = _np.concatenate([self.edges] + list(rows))
+        merged.sort()
+        self.edges = merged

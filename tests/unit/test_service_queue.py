@@ -204,6 +204,63 @@ class TestCancelAndRequeue:
             queue.requeue(job.job_id)
 
 
+class TestClaimLocks:
+    def test_held_lock_skips_to_next_candidate(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(make_spec(), priority=9)
+        second = queue.submit(make_spec(), priority=1)
+        # another server holds the best job's lock mid-claim.
+        queue.locks_dir.mkdir(parents=True, exist_ok=True)
+        (queue.locks_dir / f"{first.job_id}.lock").write_text("12345\n")
+        claimed = queue.claim_next()
+        assert claimed.job_id == second.job_id
+        assert queue.claim_next() is None  # first still locked elsewhere
+
+    def test_two_servers_claim_disjoint_jobs(self, tmp_path):
+        submitter = JobQueue(tmp_path)
+        ids = {submitter.submit(make_spec()).job_id for _ in range(4)}
+        a = JobQueue(tmp_path)
+        b = JobQueue(tmp_path)
+        claims = []
+        for server in (a, b, a, b):
+            claims.append(server.claim_next().job_id)
+        assert len(set(claims)) == 4
+        assert set(claims) == ids
+        assert a.claim_next() is None and b.claim_next() is None
+
+    def test_terminal_transition_releases_the_lock(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_spec())
+        claimed = queue.claim_next()
+        lock = queue.locks_dir / f"{claimed.job_id}.lock"
+        assert lock.exists()
+        queue.transition(job.job_id, "done")
+        assert not lock.exists()
+
+    def test_recovery_sweeps_stale_lock(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_spec())
+        claimed = queue.claim_next()
+        lock = queue.locks_dir / f"{claimed.job_id}.lock"
+        assert lock.exists()
+        # owning server dies; the next server recovers and re-claims.
+        recovered = JobQueue(tmp_path, recover=True)
+        assert not lock.exists()
+        assert recovered.get(claimed.job_id).state == "queued"
+        assert recovered.claim_next() is not None
+
+    def test_stale_journal_view_abandons_claim(self, tmp_path):
+        # server A read the journal before server B finished the job;
+        # A's claim must notice the terminal state after locking.
+        a = JobQueue(tmp_path)
+        job = a.submit(make_spec())
+        b = JobQueue(tmp_path)
+        claimed = b.claim_next()
+        b.transition(claimed.job_id, "done")
+        assert a.claim_next() is None
+        assert not (a.locks_dir / f"{job.job_id}.lock").exists()
+
+
 def test_counts_and_idle(tmp_path):
     queue = JobQueue(tmp_path)
     assert queue.idle()
